@@ -1,0 +1,26 @@
+"""Figure 5a — GHIDRA strategy ladder: full coverage / full accuracy counts."""
+
+from repro.eval import run_figure5a
+from repro.eval.tables import render_strategy_outcomes
+
+
+def test_figure5a_ghidra_strategies(benchmark, selfbuilt_corpus, report_writer):
+    outcomes = benchmark.pedantic(
+        run_figure5a, args=(selfbuilt_corpus,), rounds=1, iterations=1
+    )
+    report_writer(
+        "figure5a_ghidra", render_strategy_outcomes("Figure 5a — GHIDRA strategies", outcomes)
+    )
+    by_label = {o.label: o for o in outcomes}
+
+    # Control-flow repairing reduces coverage relative to plain recursion.
+    assert by_label["FDE+Rec+CFR"].full_coverage < by_label["FDE+Rec"].full_coverage
+    # Recursion itself improves coverage over FDEs alone.
+    assert by_label["FDE+Rec"].full_coverage >= by_label["FDE"].full_coverage
+    # The heuristic tail-call detection wrecks accuracy.
+    assert by_label["FDE+Rec+Tcall"].full_accuracy < by_label["FDE+Rec"].full_accuracy
+    # Function matching never helps coverage meaningfully.
+    assert (
+        by_label["FDE+Rec+Fsig"].full_coverage - by_label["FDE+Rec"].full_coverage
+        <= len(selfbuilt_corpus) * 0.05
+    )

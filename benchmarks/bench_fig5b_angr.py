@@ -1,0 +1,22 @@
+"""Figure 5b — ANGR strategy ladder: full coverage / full accuracy counts."""
+
+from repro.eval import run_figure5b
+from repro.eval.tables import render_strategy_outcomes
+
+
+def test_figure5b_angr_strategies(benchmark, selfbuilt_corpus, report_writer):
+    outcomes = benchmark.pedantic(
+        run_figure5b, args=(selfbuilt_corpus,), rounds=1, iterations=1
+    )
+    report_writer(
+        "figure5b_angr", render_strategy_outcomes("Figure 5b — ANGR strategies", outcomes)
+    )
+    by_label = {o.label: o for o in outcomes}
+
+    # Function merging can only lose coverage relative to plain recursion.
+    assert by_label["FDE+Rec+Fmerg"].full_coverage <= by_label["FDE+Rec"].full_coverage
+    # Prologue matching and linear scanning destroy accuracy.
+    assert by_label["FDE+Rec+Fsig"].full_accuracy < by_label["FDE+Rec"].full_accuracy
+    assert by_label["FDE+Rec+Scan"].full_accuracy <= by_label["FDE+Rec+Fsig"].full_accuracy
+    # The heuristic tail-call detection also costs accuracy.
+    assert by_label["FDE+Rec+Tcall"].full_accuracy < by_label["FDE+Rec"].full_accuracy

@@ -1,0 +1,31 @@
+"""Figure 5c — the optimal strategies culminating in full FETCH."""
+
+from repro.eval import run_figure5c
+from repro.eval.tables import render_strategy_outcomes
+
+
+def test_figure5c_optimal_strategies(benchmark, selfbuilt_corpus, report_writer):
+    outcomes = benchmark.pedantic(
+        run_figure5c, args=(selfbuilt_corpus,), rounds=1, iterations=1
+    )
+    report_writer(
+        "figure5c_optimal",
+        render_strategy_outcomes("Figure 5c — optimal strategies (FETCH)", outcomes),
+    )
+    by_label = {o.label: o for o in outcomes}
+
+    # Safe recursion and pointer validation monotonically improve coverage
+    # without hurting accuracy.
+    assert by_label["FDE+Rec"].full_coverage >= by_label["FDE"].full_coverage
+    assert by_label["FDE+Rec+Xref"].full_coverage >= by_label["FDE+Rec"].full_coverage
+    assert by_label["FDE+Rec+Xref"].full_accuracy >= by_label["FDE"].full_accuracy
+    # Algorithm 1 is what delivers accuracy, at a marginal coverage cost (the
+    # merged tail-call-only helpers; equivalent to inlining, hence harmless).
+    final = by_label["FDE+Rec+Xref+Tcall"]
+    assert final.full_accuracy > by_label["FDE+Rec+Xref"].full_accuracy
+    coverage_drop = by_label["FDE+Rec+Xref"].full_coverage - final.full_coverage
+    assert coverage_drop <= max(2, int(0.15 * len(selfbuilt_corpus)))
+    # The coverage cost never exceeds the accuracy gain.
+    assert (
+        final.full_accuracy - by_label["FDE+Rec+Xref"].full_accuracy >= coverage_drop
+    )

@@ -1,0 +1,19 @@
+"""§V-A — errors introduced by FDEs (false starts, ROP gadget exposure)."""
+
+from repro.eval import run_fde_error_study
+from repro.eval.tables import render_fde_errors
+
+
+def test_sec5a_fde_introduced_errors(benchmark, selfbuilt_corpus, report_writer):
+    study = benchmark.pedantic(
+        run_fde_error_study, args=(selfbuilt_corpus,), rounds=1, iterations=1
+    )
+    report_writer("sec5a_fde_errors", render_fde_errors(study))
+
+    # Paper: 34,772 false starts, all but 3 from non-contiguous functions,
+    # spread over roughly a third of the binaries, and they expose ROP
+    # gadgets that CFI policies would have to allow.
+    assert study.total_false_positives > 0
+    assert study.from_non_contiguous_functions >= 0.95 * study.total_false_positives
+    assert 0 < study.binaries_with_false_positives < study.binary_count
+    assert study.rop_gadgets_at_false_starts > 0

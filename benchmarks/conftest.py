@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The corpus
+size is controlled by the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_MAX_BINARIES``
+environment variables so the full harness can be dialled between "smoke test"
+and "paper scale".  Rendered tables are printed to stdout and written to
+``benchmarks/reports/`` for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.synth import build_selfbuilt_corpus, build_wild_corpus
+
+REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+
+
+def _max_binaries() -> int | None:
+    value = os.environ.get("REPRO_BENCH_MAX_BINARIES", "")
+    return int(value) if value else None
+
+
+@pytest.fixture(scope="session")
+def selfbuilt_corpus():
+    """The Dataset-2 analogue used by most benchmarks."""
+    return build_selfbuilt_corpus(scale=_scale(), max_binaries=_max_binaries(), seed=2021)
+
+
+@pytest.fixture(scope="session")
+def selfbuilt_corpus_small(selfbuilt_corpus):
+    """A subsample for the slowest benchmarks (timing, stack heights)."""
+    return selfbuilt_corpus[: max(8, len(selfbuilt_corpus) // 4)]
+
+
+@pytest.fixture(scope="session")
+def wild_corpus():
+    """The Dataset-1 (wild binaries) analogue."""
+    return build_wild_corpus(scale=0.4, seed=2021)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a rendered table to benchmarks/reports/<name>.txt and stdout."""
+    REPORT_DIRECTORY.mkdir(exist_ok=True)
+
+    def write(name: str, content: str) -> str:
+        path = REPORT_DIRECTORY / f"{name}.txt"
+        path.write_text(content + "\n")
+        print("\n" + content)
+        return content
+
+    return write

@@ -1,0 +1,24 @@
+"""FETCH reproduction: function detection from exception-handling information.
+
+This library reproduces "Towards Optimal Use of Exception Handling
+Information for Function Detection" (Pang et al., DSN 2021).  The most common
+entry points:
+
+* :class:`repro.core.FetchDetector` — detect function starts in an x86-64 ELF
+  binary using ``.eh_frame`` call frames, safe recursive disassembly,
+  function-pointer validation and Algorithm 1.
+* :class:`repro.elf.BinaryImage` — load a binary for analysis.
+* :mod:`repro.synth` — generate synthetic evaluation corpora with ground
+  truth.
+* :mod:`repro.baselines` — strategy models of the tools the paper compares
+  against.
+* :mod:`repro.eval` — runners and renderers for every table and figure of the
+  paper's evaluation.
+"""
+
+from repro.core import FetchDetector, FetchOptions
+from repro.elf import BinaryImage
+
+__version__ = "1.0.0"
+
+__all__ = ["FetchDetector", "FetchOptions", "BinaryImage", "__version__"]

@@ -1,0 +1,79 @@
+"""Calling-convention validation.
+
+The rule from §IV-E of the paper: at a legitimate function entry, every
+register other than the System-V integer-argument registers (``rdi``,
+``rsi``, ``rdx``, ``rcx``, ``r8``, ``r9``) must be initialised before it is
+used.  Saving a callee-saved register with ``push`` does not count as a use,
+and a ``call`` re-defines the caller-saved registers.  The check walks a
+bounded number of instructions of straight-line + direct-jump flow from the
+candidate entry and reports a violation as soon as an uninitialised register
+is read; undecodable bytes are also violations.
+"""
+
+from __future__ import annotations
+
+from repro.elf.image import BinaryImage
+from repro.x86.disassembler import DecodeError, decode_instruction
+from repro.x86.registers import (
+    ARGUMENT_REGISTERS,
+    CALLER_SAVED_REGISTERS,
+    RAX,
+    RBP,
+    RSP,
+)
+from repro.x86.semantics import registers_read, registers_written
+
+_DEFAULT_LIMIT = 48
+
+
+def satisfies_calling_convention(
+    image: BinaryImage, address: int, *, max_instructions: int = _DEFAULT_LIMIT
+) -> bool:
+    """Whether code starting at ``address`` looks like a function entry."""
+    initialized = set(ARGUMENT_REGISTERS) | {RSP, RBP}
+    visited: set[int] = set()
+    current = address
+
+    for _ in range(max_instructions):
+        if current in visited:
+            return True
+        visited.add(current)
+
+        section = image.section_containing(current)
+        if section is None or not section.is_executable:
+            return False
+        try:
+            insn = decode_instruction(section.data, current - section.address, current)
+        except DecodeError:
+            return False
+
+        if insn.is_ret or insn.mnemonic in ("ud2", "hlt"):
+            return True
+        if insn.is_call:
+            # Reaching a call without a violation is good enough; the callee
+            # re-establishes its own conventions.
+            return True
+
+        reads = registers_read(insn)
+        if insn.mnemonic == "push":
+            # Saving a register is not a use of its value in the ABI sense.
+            reads = reads - set(insn.operands) if insn.operands else reads
+        if any(reg not in initialized for reg in reads if reg not in (RSP, RBP)):
+            return False
+        initialized |= registers_written(insn)
+        if insn.is_call:
+            initialized |= set(CALLER_SAVED_REGISTERS) | {RAX}
+
+        if insn.is_unconditional_jump:
+            target = insn.branch_target
+            if target is None:
+                return True
+            current = target
+            continue
+        if insn.is_conditional_jump:
+            # Follow the fall-through edge; one clean path is sufficient for
+            # this conservative check.
+            current = insn.end
+            continue
+        current = insn.end
+    return True

@@ -1,0 +1,39 @@
+"""Computation of non-disassembled gaps in executable sections."""
+
+from __future__ import annotations
+
+from repro.analysis.result import DisassemblyResult
+from repro.elf.image import BinaryImage
+
+
+def compute_gaps(image: BinaryImage, result: DisassemblyResult) -> list[tuple[int, int]]:
+    """Return ``[start, end)`` ranges of executable bytes not yet disassembled.
+
+    These are the regions existing tools probe with prologue matching and
+    linear scanning (§II-B / §IV-D).
+    """
+    covered: list[tuple[int, int]] = []
+    for insn in result.instructions.values():
+        covered.append((insn.address, insn.end))
+    covered.sort()
+
+    merged: list[tuple[int, int]] = []
+    for start, end in covered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+
+    gaps: list[tuple[int, int]] = []
+    for section in image.executable_sections:
+        cursor = section.address
+        section_end = section.end_address
+        for start, end in merged:
+            if end <= cursor or start >= section_end:
+                continue
+            if start > cursor:
+                gaps.append((cursor, min(start, section_end)))
+            cursor = max(cursor, end)
+        if cursor < section_end:
+            gaps.append((cursor, section_end))
+    return [gap for gap in gaps if gap[1] > gap[0]]

@@ -1,0 +1,115 @@
+"""Conservative jump-table resolution.
+
+Safe recursive disassembly (§IV-C of the paper) only follows indirect jumps
+when they match a well-understood jump-table idiom; everything else is
+skipped.  The pattern recognised here is the one the synthetic compiler (and
+GCC/Clang for non-PIE switches) emits::
+
+    cmp   idx, N-1
+    ja    default
+    lea   base, [rip + table]
+    jmp   [base + idx*8]
+
+The resolver walks backwards over the instructions of the current path to
+recover the table base and the bound, reads the table from the read-only data
+section, and accepts an entry only if it points into executable code.
+"""
+
+from __future__ import annotations
+
+from repro.elf.image import BinaryImage
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Imm, Mem
+from repro.x86.registers import Register
+
+_MAX_TABLE_ENTRIES = 512
+_LOOKBACK = 24
+
+
+def resolve_jump_table(
+    image: BinaryImage, path: list[Instruction], jump: Instruction
+) -> list[int] | None:
+    """Resolve an indirect jump into its concrete targets.
+
+    Args:
+        image: the binary being analysed.
+        path: instructions decoded on the current path, in order, ending just
+            before ``jump``.
+        jump: the indirect ``jmp`` instruction.
+
+    Returns:
+        The list of targets, or ``None`` when the jump does not match the
+        supported jump-table idiom.
+    """
+    memory = jump.memory_operand
+    if memory is None or jump.mnemonic != "jmp":
+        return None
+    if memory.scale != 8 or memory.index is None:
+        return None
+
+    recent = path[-_LOOKBACK:]
+    table_address = _find_table_base(recent, memory)
+    if table_address is None:
+        return None
+    bound = _find_bound(recent, memory.index)
+    if bound is None:
+        return None
+    entry_count = bound + 1
+    if entry_count <= 0 or entry_count > _MAX_TABLE_ENTRIES:
+        return None
+
+    targets: list[int] = []
+    for index in range(entry_count):
+        try:
+            raw = image.read(table_address + memory.disp + index * 8, 8)
+        except ValueError:
+            return None
+        target = int.from_bytes(raw, "little")
+        if not image.is_executable_address(target):
+            return None
+        targets.append(target)
+    return targets
+
+
+def _find_table_base(recent: list[Instruction], memory: Mem) -> int | None:
+    """Find the table base loaded into the jump's base register."""
+    base = memory.base
+    if base is None:
+        # jmp [disp32 + idx*8] — the displacement itself is the table address.
+        return 0 if memory.disp else None
+    for insn in reversed(recent):
+        if insn.mnemonic == "lea" and insn.operands and insn.operands[0] == base:
+            target = insn.rip_target
+            if target is not None:
+                return target
+            return None
+        if insn.mnemonic == "mov" and insn.operands and insn.operands[0] == base:
+            src = insn.operands[1]
+            if isinstance(src, Imm):
+                return src.value
+            return None
+        # Any other write to the base register makes the table unknown.
+        if insn.operands and insn.operands[0] == base and insn.mnemonic not in ("cmp", "test"):
+            return None
+    return None
+
+
+def _find_bound(recent: list[Instruction], index_register: Register) -> int | None:
+    """Find the bound established by ``cmp index, N`` + ``ja/jae``."""
+    saw_above_branch = False
+    for insn in reversed(recent):
+        if insn.mnemonic in ("ja", "jae"):
+            saw_above_branch = True
+            continue
+        if insn.mnemonic == "cmp" and insn.operands:
+            target, value = insn.operands[0], insn.operands[1]
+            if target == index_register and isinstance(value, Imm) and saw_above_branch:
+                bound = value.value
+                return bound if insn.mnemonic else bound
+        # A write to the index register between the cmp and the jump breaks
+        # the correspondence between the bound and the index.
+        if insn.operands and insn.operands[0] == index_register and insn.mnemonic in (
+            "mov", "lea", "add", "sub", "imul", "xor", "movsxd", "movzx",
+        ):
+            return None
+    return None

@@ -1,0 +1,63 @@
+"""Linear scanning of code gaps (the angr-style unsafe approach).
+
+After recursive disassembly, angr linearly sweeps the remaining gaps and
+treats the beginning of each successfully-decoded piece of code as a new
+function start (§II-B item 3).  The paper shows this eliminates full-accuracy
+binaries entirely; we reproduce the behaviour: skip leading padding, decode
+linearly, and report the address where decoding succeeded.
+"""
+
+from __future__ import annotations
+
+from repro.elf.image import BinaryImage
+from repro.x86.disassembler import decode_range
+
+#: Bytes compilers use as inter-function filler.
+_PADDING_BYTES = frozenset((0x90, 0xCC, 0x00))
+#: Minimum decodable instructions for a gap piece to count as code.
+_MIN_INSTRUCTIONS = 2
+#: Maximum function-start candidates reported per gap.
+_MAX_PIECES_PER_GAP = 4
+
+
+def linear_scan_gaps(
+    image: BinaryImage, gaps: list[tuple[int, int]]
+) -> set[int]:
+    """Return the starts of decodable code pieces found inside ``gaps``."""
+    starts: set[int] = set()
+    for gap_start, gap_end in gaps:
+        section = image.section_containing(gap_start)
+        if section is None:
+            continue
+        data = section.data
+        cursor = gap_start
+        end = min(gap_end, section.end_address)
+        pieces = 0
+        while cursor < end and pieces < _MAX_PIECES_PER_GAP:
+            cursor = _skip_padding(data, section.address, cursor, end)
+            if cursor >= end:
+                break
+            decoded = list(
+                decode_range(
+                    data,
+                    section.address,
+                    cursor - section.address,
+                    end - section.address,
+                    stop_on_error=True,
+                )
+            )
+            meaningful = [i for i in decoded if not i.is_padding]
+            if len(meaningful) >= _MIN_INSTRUCTIONS:
+                starts.add(cursor)
+                pieces += 1
+            if decoded:
+                cursor = decoded[-1].end + 1
+            else:
+                cursor += 1
+    return starts
+
+
+def _skip_padding(data: bytes, base: int, cursor: int, end: int) -> int:
+    while cursor < end and data[cursor - base] in _PADDING_BYTES:
+        cursor += 1
+    return cursor

@@ -1,0 +1,47 @@
+"""Prologue / signature matching over non-disassembled gaps.
+
+This is one of the *unsafe* approaches of §II-B / §IV-D: scan the bytes that
+recursive disassembly did not reach for byte patterns that commonly start a
+function.  It finds functions that genuinely start with a standard prologue,
+but it also fires on data embedded in the text section and on the middle of
+instructions, which is exactly how the false positives quantified in the
+paper arise.
+"""
+
+from __future__ import annotations
+
+from repro.elf.image import BinaryImage
+
+#: Common x86-64 function prologue byte patterns (most specific first).
+PROLOGUE_PATTERNS: tuple[bytes, ...] = (
+    b"\xf3\x0f\x1e\xfa",          # endbr64
+    b"\x55\x48\x89\xe5",          # push rbp; mov rbp, rsp
+    b"\x41\x57\x41\x56",          # push r15; push r14
+    b"\x53\x48\x83\xec",          # push rbx; sub rsp, imm8
+    b"\x48\x83\xec",              # sub rsp, imm8
+)
+
+_PADDING_BYTES = frozenset(b"\x90\xcc\x00\x66\x0f\x1f")
+
+
+def match_prologues(
+    image: BinaryImage,
+    gaps: list[tuple[int, int]],
+    *,
+    patterns: tuple[bytes, ...] = PROLOGUE_PATTERNS,
+) -> set[int]:
+    """Return addresses inside ``gaps`` where a prologue pattern occurs."""
+    matches: set[int] = set()
+    for gap_start, gap_end in gaps:
+        section = image.section_containing(gap_start)
+        if section is None:
+            continue
+        begin = gap_start - section.address
+        end = min(gap_end, section.end_address) - section.address
+        window = section.data[begin:end]
+        for pattern in patterns:
+            offset = window.find(pattern)
+            while offset != -1:
+                matches.add(section.address + begin + offset)
+                offset = window.find(pattern, offset + 1)
+    return matches

@@ -1,0 +1,188 @@
+"""Safe recursive disassembly.
+
+This is the paper's notion of a *safe* approach (§IV-C): follow only control
+flow whose targets are certain, resolve indirect jumps only when they match a
+proven jump-table pattern, skip indirect calls, detect non-returning callees
+with an accurate fix-point analysis, and never guess.  Running it from the
+addresses carried by FDEs (plus symbols) is the strategy the paper shows to
+reach near-full coverage without introducing false positives.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.jumptable import resolve_jump_table
+from repro.analysis.result import DisassembledFunction, DisassemblyResult
+from repro.elf.image import BinaryImage
+from repro.x86.disassembler import DecodeError, decode_instruction
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Imm
+
+_MAX_FUNCTION_INSTRUCTIONS = 20_000
+
+
+class RecursiveDisassembler:
+    """Recursive-traversal disassembler with on-demand noreturn analysis."""
+
+    def __init__(self, image: BinaryImage, *, follow_calls: bool = True):
+        self.image = image
+        self.follow_calls = follow_calls
+        self._decode_cache: dict[int, Instruction | None] = {}
+        self._noreturn: dict[int, bool] = {}
+        self._in_progress: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def disassemble(self, seeds: set[int]) -> DisassemblyResult:
+        """Disassemble starting from ``seeds`` (function start addresses).
+
+        Targets of direct calls discovered along the way are added as new
+        function starts, matching how GHIDRA/ANGR grow coverage on top of
+        FDEs (§IV-C).
+        """
+        result = DisassemblyResult()
+        worklist = sorted(address for address in seeds if self._is_code(address))
+        queued = set(worklist)
+
+        while worklist:
+            start = worklist.pop()
+            function = self._disassemble_function(start)
+            result.functions[start] = function
+            result.instructions.update(function.instructions)
+            result.call_targets.update(function.call_targets)
+            for insn in function.instructions.values():
+                # Branch-target immediates are control-flow references, not
+                # address-taking constants; they are accounted for separately.
+                if not insn.is_branch:
+                    for operand in insn.operands:
+                        if isinstance(operand, Imm) and operand.size >= 4:
+                            result.code_constants.add(operand.value)
+                rip_target = insn.rip_target
+                if rip_target is not None:
+                    result.code_constants.add(rip_target)
+            if self.follow_calls:
+                for target in function.call_targets:
+                    if target not in queued and self._is_code(target):
+                        queued.add(target)
+                        worklist.append(target)
+        return result
+
+    # ------------------------------------------------------------------
+    def is_noreturn(self, address: int) -> bool:
+        """Whether the function starting at ``address`` never returns."""
+        if address not in self._noreturn:
+            self._disassemble_function(address)
+        return self._noreturn.get(address, False)
+
+    # ------------------------------------------------------------------
+    def _is_code(self, address: int) -> bool:
+        return self.image.is_executable_address(address)
+
+    def _decode(self, address: int) -> Instruction | None:
+        if address in self._decode_cache:
+            return self._decode_cache[address]
+        section = self.image.section_containing(address)
+        insn: Instruction | None
+        if section is None or not section.is_executable:
+            insn = None
+        else:
+            try:
+                insn = decode_instruction(section.data, address - section.address, address)
+            except DecodeError:
+                insn = None
+        self._decode_cache[address] = insn
+        return insn
+
+    def _disassemble_function(self, start: int) -> DisassembledFunction:
+        """Explore intra-procedural control flow from ``start``."""
+        function = DisassembledFunction(start=start)
+        if start in self._in_progress:
+            return function
+        self._in_progress.add(start)
+
+        worklist = [start]
+        path_cache: dict[int, list[Instruction]] = {start: []}
+        saw_ret = False
+        saw_escape = False
+
+        while worklist and len(function.instructions) < _MAX_FUNCTION_INSTRUCTIONS:
+            address = worklist.pop()
+            path = path_cache.pop(address, [])
+            while address is not None:
+                if address in function.instructions:
+                    break
+                insn = self._decode(address)
+                if insn is None:
+                    function.had_decode_error = True
+                    break
+                function.instructions[address] = insn
+                path = path + [insn]
+
+                if insn.is_ret:
+                    saw_ret = True
+                    break
+                if insn.mnemonic in ("ud2", "hlt"):
+                    break
+                if insn.is_call:
+                    target = insn.branch_target
+                    if target is not None:
+                        function.call_targets.add(target)
+                        if self._call_returns(target):
+                            address = insn.end
+                            continue
+                        break
+                    # Indirect call: skipped, assume it returns.
+                    address = insn.end
+                    continue
+                if insn.is_conditional_jump:
+                    function.jumps.append(insn)
+                    target = insn.branch_target
+                    if target is not None and self._is_code(target):
+                        if target not in function.instructions and target not in path_cache:
+                            worklist.append(target)
+                            path_cache[target] = list(path)
+                    address = insn.end
+                    continue
+                if insn.is_unconditional_jump:
+                    function.jumps.append(insn)
+                    target = insn.branch_target
+                    if target is not None:
+                        if self._is_code(target):
+                            address = target
+                            continue
+                        break
+                    targets = resolve_jump_table(self.image, path[:-1], insn)
+                    if targets:
+                        for table_target in targets:
+                            if (
+                                table_target not in function.instructions
+                                and table_target not in path_cache
+                            ):
+                                worklist.append(table_target)
+                                path_cache[table_target] = []
+                    else:
+                        saw_escape = True
+                    break
+                # Ordinary instruction: fall through.
+                address = insn.end
+
+        self._in_progress.discard(start)
+        # A function is non-returning when no reachable path ends in `ret` and
+        # no unresolved construct could hide a return.
+        tail_jumps_out = any(
+            j.is_unconditional_jump
+            and j.branch_target is not None
+            and j.branch_target not in function.instructions
+            for j in function.jumps
+        )
+        self._noreturn[start] = not saw_ret and not saw_escape and not tail_jumps_out and bool(
+            function.instructions
+        )
+        return function
+
+    def _call_returns(self, target: int) -> bool:
+        """Whether a call to ``target`` can fall through."""
+        if target in self._noreturn:
+            return not self._noreturn[target]
+        if target in self._in_progress or not self._is_code(target):
+            return True
+        self._disassemble_function(target)
+        return not self._noreturn.get(target, False)

@@ -1,0 +1,84 @@
+"""Result structures shared by the disassembly-based analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.instruction import Instruction
+
+
+@dataclass
+class DisassembledFunction:
+    """The instructions discovered for one detected function.
+
+    ``instructions`` maps instruction address to the decoded instruction for
+    every address reached by intra-procedural control flow from ``start``.
+    """
+
+    start: int
+    instructions: dict[int, Instruction] = field(default_factory=dict)
+    #: addresses of direct call targets found inside this function
+    call_targets: set[int] = field(default_factory=set)
+    #: jump instructions (conditional or unconditional) inside this function
+    jumps: list[Instruction] = field(default_factory=list)
+    #: whether exploration hit a decoding error
+    had_decode_error: bool = False
+
+    @property
+    def addresses(self) -> set[int]:
+        return set(self.instructions)
+
+    @property
+    def end(self) -> int:
+        """One past the highest byte claimed by this function's instructions."""
+        if not self.instructions:
+            return self.start
+        return max(insn.end for insn in self.instructions.values())
+
+    def contains(self, address: int) -> bool:
+        return address in self.instructions
+
+    def covers_address(self, address: int) -> bool:
+        """Whether ``address`` falls inside any instruction of this function."""
+        return self.start <= address < self.end
+
+    @property
+    def sorted_instructions(self) -> list[Instruction]:
+        return [self.instructions[a] for a in sorted(self.instructions)]
+
+
+@dataclass
+class DisassemblyResult:
+    """Aggregate result of (recursive) disassembly over a binary."""
+
+    functions: dict[int, DisassembledFunction] = field(default_factory=dict)
+    #: every decoded instruction, keyed by address (across all functions)
+    instructions: dict[int, Instruction] = field(default_factory=dict)
+    #: all direct call targets observed
+    call_targets: set[int] = field(default_factory=set)
+    #: constants (immediates / RIP-relative targets) seen in decoded code
+    code_constants: set[int] = field(default_factory=set)
+
+    @property
+    def function_starts(self) -> set[int]:
+        return set(self.functions)
+
+    def is_instruction_start(self, address: int) -> bool:
+        return address in self.instructions
+
+    def is_inside_instruction(self, address: int) -> bool:
+        """True when ``address`` falls strictly inside a decoded instruction."""
+        if address in self.instructions:
+            return False
+        for delta in range(1, 15):
+            insn = self.instructions.get(address - delta)
+            if insn is not None and insn.end > address:
+                return True
+        return False
+
+    def function_containing(self, address: int) -> DisassembledFunction | None:
+        """The detected function whose instruction set includes ``address``."""
+        for function in self.functions.values():
+            if address in function.instructions:
+                return function
+        return None

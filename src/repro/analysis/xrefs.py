@@ -1,0 +1,134 @@
+"""Function-pointer collection and validation (§IV-E of the paper).
+
+The collection is deliberately a super-set: every consecutive 8 bytes of the
+data sections and of the non-disassembled text regions is treated as a
+candidate pointer, and every constant found in already-disassembled code is
+added as well.  A candidate only becomes a function start after the
+validation step re-disassembles from it and observes none of the four error
+classes (invalid opcode, overlap with existing instructions, control transfer
+into the middle of a previously-detected function, calling-convention
+violation).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.callconv import satisfies_calling_convention
+from repro.analysis.gaps import compute_gaps
+from repro.analysis.result import DisassemblyResult
+from repro.elf.image import BinaryImage
+from repro.x86.disassembler import DecodeError, decode_instruction
+
+_VALIDATION_INSTRUCTION_LIMIT = 600
+
+
+def collect_potential_pointers(
+    image: BinaryImage, result: DisassemblyResult
+) -> set[int]:
+    """Collect the conservative super-set of potential function pointers."""
+    candidates: set[int] = set()
+
+    for section in image.data_sections:
+        data = section.data
+        for offset in range(0, max(len(data) - 7, 0)):
+            value = int.from_bytes(data[offset : offset + 8], "little")
+            if image.is_executable_address(value):
+                candidates.add(value)
+
+    for gap_start, gap_end in compute_gaps(image, result):
+        section = image.section_containing(gap_start)
+        if section is None:
+            continue
+        data = section.data
+        begin = gap_start - section.address
+        end = min(gap_end, section.end_address) - section.address
+        for offset in range(begin, max(end - 7, begin)):
+            value = int.from_bytes(data[offset : offset + 8], "little")
+            if image.is_executable_address(value):
+                candidates.add(value)
+
+    for constant in result.code_constants:
+        if image.is_executable_address(constant):
+            candidates.add(constant)
+    return candidates
+
+
+def validate_function_pointer(
+    image: BinaryImage,
+    address: int,
+    result: DisassemblyResult,
+    known_starts: set[int],
+) -> bool:
+    """Validate a candidate function pointer by conservative re-disassembly.
+
+    Implements the four error checks of §IV-E.  ``known_starts`` are the
+    function starts detected before pointer validation.
+    """
+    if address in known_starts or address in result.instructions:
+        return False
+    if not image.is_executable_address(address):
+        return False
+    if result.is_inside_instruction(address):
+        return False
+    if not satisfies_calling_convention(image, address):
+        return False
+
+    visited: set[int] = set()
+    worklist = [address]
+    budget = _VALIDATION_INSTRUCTION_LIMIT
+    while worklist and budget > 0:
+        current = worklist.pop()
+        while current is not None and budget > 0:
+            if current in visited or current in result.instructions:
+                break
+            budget -= 1
+            section = image.section_containing(current)
+            if section is None or not section.is_executable:
+                return False
+            try:
+                insn = decode_instruction(section.data, current - section.address, current)
+            except DecodeError:
+                return False
+            if result.is_inside_instruction(current):
+                return False
+            visited.add(current)
+
+            if insn.is_ret or insn.mnemonic in ("ud2", "hlt"):
+                break
+            target = insn.branch_target
+            if target is not None and (insn.is_call or insn.is_jump):
+                if _lands_inside_function(target, known_starts, result):
+                    return False
+            if insn.is_call:
+                current = insn.end
+                continue
+            if insn.is_unconditional_jump:
+                if target is None:
+                    break
+                current = target
+                continue
+            if insn.is_conditional_jump:
+                if target is not None and target not in visited:
+                    worklist.append(target)
+                current = insn.end
+                continue
+            current = insn.end
+    return True
+
+
+def _lands_inside_function(
+    target: int,
+    known_starts: set[int],
+    result: DisassemblyResult,
+) -> bool:
+    """Whether a transfer lands strictly inside a previously-detected function.
+
+    Jumping to a detected function *start* is fine (an ordinary call or tail
+    call); landing in the middle of an already-decoded instruction, or at an
+    instruction that belongs to an existing function but is not a function
+    start, indicates the candidate pointer is bogus.
+    """
+    if target in known_starts:
+        return False
+    if result.is_inside_instruction(target):
+        return True
+    return target in result.instructions

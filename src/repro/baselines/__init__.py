@@ -1,0 +1,53 @@
+"""Baseline function-detection tools, modelled by strategy.
+
+The paper compares FETCH against eight existing tools.  Those tools cannot be
+bundled here, so each is modelled by the *strategies* the paper attributes to
+it (§II-B, §IV, §VI): which seeds it starts from (symbols, FDEs, the entry
+point, linear sweep), which growth steps it runs (recursive disassembly,
+prologue matching, pointer scanning, linear scan) and which error-prone
+heuristics it layers on top (control-flow repairing, thunk detection,
+function merging, heuristic tail calls).  The strategy toggles of
+:class:`~repro.baselines.ghidra_like.GhidraLike` and
+:class:`~repro.baselines.angr_like.AngrLike` correspond one-to-one to the
+bars of Figure 5a/5b.
+"""
+
+from repro.baselines.base import BaselineTool
+from repro.baselines.ghidra_like import GhidraLike, GhidraOptions
+from repro.baselines.angr_like import AngrLike, AngrOptions
+from repro.baselines.dyninst_like import DyninstLike
+from repro.baselines.bap_like import BapLike
+from repro.baselines.radare_like import Radare2Like
+from repro.baselines.nucleus_like import NucleusLike
+from repro.baselines.ida_like import IdaLike
+from repro.baselines.ninja_like import BinaryNinjaLike
+from repro.baselines.byteweight_like import ByteWeightLike
+
+__all__ = [
+    "BaselineTool",
+    "GhidraLike",
+    "GhidraOptions",
+    "AngrLike",
+    "AngrOptions",
+    "DyninstLike",
+    "BapLike",
+    "Radare2Like",
+    "NucleusLike",
+    "IdaLike",
+    "BinaryNinjaLike",
+    "ByteWeightLike",
+]
+
+
+def all_comparison_tools() -> list[BaselineTool]:
+    """The eight baseline tools of Table III, in the paper's column order."""
+    return [
+        DyninstLike(),
+        BapLike(),
+        Radare2Like(),
+        NucleusLike(),
+        IdaLike(),
+        BinaryNinjaLike(),
+        GhidraLike(),
+        AngrLike(),
+    ]

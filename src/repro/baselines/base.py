@@ -1,0 +1,88 @@
+"""Shared machinery for the baseline tool models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.analysis.gaps import compute_gaps
+from repro.analysis.prologue import match_prologues
+from repro.analysis.recursive import RecursiveDisassembler
+from repro.analysis.result import DisassemblyResult
+from repro.core.results import DetectionResult
+from repro.elf.image import BinaryImage
+
+
+class BaselineTool(ABC):
+    """A function-start detector modelled after an existing tool."""
+
+    #: short name used in tables (overridden by subclasses)
+    name: str = "baseline"
+
+    @abstractmethod
+    def detect(self, image: BinaryImage) -> DetectionResult:
+        """Detect function starts in ``image``."""
+
+    # ------------------------------------------------------------------
+    # Shared building blocks
+    # ------------------------------------------------------------------
+    def _recursive(
+        self, image: BinaryImage, seeds: set[int]
+    ) -> tuple[RecursiveDisassembler, DisassemblyResult, set[int]]:
+        """Run recursive disassembly and return the grown start set."""
+        disassembler = RecursiveDisassembler(image)
+        seeds = {s for s in seeds if image.is_executable_address(s)}
+        result = disassembler.disassemble(seeds)
+        starts = set(seeds)
+        starts |= {
+            t for t in result.call_targets if image.is_executable_address(t)
+        }
+        return disassembler, result, starts
+
+    def _grow_from_matches(
+        self,
+        image: BinaryImage,
+        disassembler: RecursiveDisassembler,
+        result: DisassemblyResult,
+        matches: set[int],
+    ) -> set[int]:
+        """Recursively disassemble from heuristic matches, merging state."""
+        new_starts = {m for m in matches if image.is_executable_address(m)}
+        if not new_starts:
+            return set()
+        extension = disassembler.disassemble(new_starts)
+        result.functions.update(extension.functions)
+        result.instructions.update(extension.instructions)
+        result.call_targets.update(extension.call_targets)
+        grown = set(new_starts)
+        grown |= {
+            t for t in extension.call_targets if image.is_executable_address(t)
+        }
+        return grown
+
+    @staticmethod
+    def _gaps(image: BinaryImage, result: DisassemblyResult) -> list[tuple[int, int]]:
+        return compute_gaps(image, result)
+
+    @staticmethod
+    def _prologue_matches(
+        image: BinaryImage, gaps: list[tuple[int, int]]
+    ) -> set[int]:
+        return match_prologues(image, gaps)
+
+    @staticmethod
+    def _reference_targets(result: DisassemblyResult) -> set[int]:
+        """Addresses referenced by any decoded call or jump."""
+        targets: set[int] = set()
+        for insn in result.instructions.values():
+            target = insn.branch_target
+            if target is not None:
+                targets.add(target)
+        return targets
+
+    @staticmethod
+    def _symbol_starts(image: BinaryImage) -> set[int]:
+        return {s.address for s in image.function_symbols}
+
+    @staticmethod
+    def _fde_starts(image: BinaryImage) -> set[int]:
+        return {fde.pc_begin for fde in image.fdes}

@@ -1,0 +1,53 @@
+"""ByteWeight-style detector model.
+
+ByteWeight learns weighted byte-prefix trees from compiler output and flags
+every position whose bytes match a learned prefix as a function start.  The
+model here uses the same prologue byte signatures as the other pattern-based
+tools but applies them over the entire text section at any offset, without
+any reachability or validation filter — which is what gives learning-based
+approaches both their coverage and their error rates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.prologue import PROLOGUE_PATTERNS
+from repro.baselines.base import BaselineTool
+from repro.core.results import DetectionResult
+from repro.elf.image import BinaryImage
+
+
+class ByteWeightLike(BaselineTool):
+    name = "byteweight"
+
+    #: patterns can be extended by "training" (see :meth:`train`)
+    def __init__(self, patterns: tuple[bytes, ...] = PROLOGUE_PATTERNS):
+        self.patterns = patterns
+
+    def train(self, corpus: list[tuple[BinaryImage, set[int]]], prefix_length: int = 6) -> None:
+        """Learn byte-prefix patterns from (image, true starts) pairs."""
+        counts: dict[bytes, int] = {}
+        for image, starts in corpus:
+            for start in starts:
+                try:
+                    prefix = image.read(start, prefix_length)
+                except ValueError:
+                    continue
+                counts[prefix] = counts.get(prefix, 0) + 1
+        learned = tuple(
+            prefix for prefix, count in sorted(counts.items(), key=lambda kv: -kv[1]) if count >= 3
+        )
+        if learned:
+            self.patterns = learned[:64]
+
+    def detect(self, image: BinaryImage) -> DetectionResult:
+        result = DetectionResult(binary_name=image.name)
+        matches: set[int] = set()
+        for section in image.executable_sections:
+            data = section.data
+            for pattern in self.patterns:
+                offset = data.find(pattern)
+                while offset != -1:
+                    matches.add(section.address + offset)
+                    offset = data.find(pattern, offset + 1)
+        result.record_stage("signatures", matches)
+        return result

@@ -1,0 +1,44 @@
+"""DYNINST-style detector model.
+
+DYNINST does not use exception-handling information.  It starts from the
+program entry point (and symbols, when present — the comparison in Table III
+follows the stripped-binary convention and ignores them), grows coverage with
+recursive disassembly, and then repeatedly scans the remaining gaps with
+prologue patterns, recursing from every match (§II-B).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTool
+from repro.core.results import DetectionResult
+from repro.elf.image import BinaryImage
+
+
+class DyninstLike(BaselineTool):
+    name = "dyninst"
+
+    #: number of prologue-matching + recursion rounds
+    rounds: int = 2
+
+    def detect(self, image: BinaryImage) -> DetectionResult:
+        result = DetectionResult(binary_name=image.name)
+        seeds = {image.entry_point} if image.entry_point else set()
+        seeds = {s for s in seeds if image.is_executable_address(s)}
+        result.record_stage("seeds", seeds)
+
+        disassembler, disassembly, starts = self._recursive(image, seeds)
+        result.disassembly = disassembly
+        result.record_stage("recursion", starts - result.function_starts)
+
+        for round_index in range(self.rounds):
+            gaps = self._gaps(image, disassembly)
+            matches = {
+                m
+                for m in self._prologue_matches(image, gaps)
+                if m not in result.function_starts
+            }
+            if not matches:
+                break
+            grown = self._grow_from_matches(image, disassembler, disassembly, matches)
+            result.record_stage(f"prologue_{round_index}", grown - result.function_starts)
+        return result

@@ -1,0 +1,39 @@
+"""RADARE2-style detector model.
+
+radare2's ``aaa`` analysis recursively disassembles from the entry point and
+then looks for function preludes in unexplored code.  Its prelude matching is
+stricter than BAP's (fewer false positives) but it does not chase function
+pointers, so address-taken-only functions are missed (§VI, Table III).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTool
+from repro.core.results import DetectionResult
+from repro.elf.image import BinaryImage
+
+
+class Radare2Like(BaselineTool):
+    name = "radare2"
+
+    def detect(self, image: BinaryImage) -> DetectionResult:
+        result = DetectionResult(binary_name=image.name)
+        seeds = {image.entry_point} if image.entry_point else set()
+        seeds = {s for s in seeds if image.is_executable_address(s)}
+        result.record_stage("seeds", seeds)
+
+        disassembler, disassembly, starts = self._recursive(image, seeds)
+        result.disassembly = disassembly
+        result.record_stage("recursion", starts - result.function_starts)
+
+        gaps = self._gaps(image, disassembly)
+        matches = set()
+        for address in self._prologue_matches(image, gaps):
+            if address in result.function_starts:
+                continue
+            # radare2 requires the prelude to sit on the function alignment.
+            if address % 4 == 0:
+                matches.add(address)
+        grown = self._grow_from_matches(image, disassembler, disassembly, matches)
+        result.record_stage("prelude", grown - result.function_starts)
+        return result

@@ -1,0 +1,109 @@
+"""Command-line interface: ``fetch-detect``.
+
+Analyses an x86-64 ELF binary with the FETCH pipeline and prints the detected
+function starts, optionally comparing them against the binary's symbol table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import FetchDetector, FetchOptions
+from repro.elf.image import BinaryImage
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fetch-detect",
+        description=(
+            "Detect function starts in an x86-64 System-V ELF binary using "
+            "exception-handling information (FETCH, DSN 2021)."
+        ),
+    )
+    parser.add_argument("binary", help="path to the ELF binary to analyse")
+    parser.add_argument(
+        "--no-recursion",
+        action="store_true",
+        help="only report FDE PC-Begin addresses (the paper's Q1 baseline)",
+    )
+    parser.add_argument(
+        "--no-xref",
+        action="store_true",
+        help="skip function-pointer collection and validation",
+    )
+    parser.add_argument(
+        "--no-tailcall",
+        action="store_true",
+        help="skip Algorithm 1 (tail-call detection and part merging)",
+    )
+    parser.add_argument(
+        "--use-symbols",
+        action="store_true",
+        help="also seed detection from function symbols when present",
+    )
+    parser.add_argument(
+        "--compare-symbols",
+        action="store_true",
+        help="report agreement between detected starts and function symbols",
+    )
+    parser.add_argument(
+        "--stages",
+        action="store_true",
+        help="show which pipeline stage contributed each detection",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        image = BinaryImage.from_file(args.binary)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load {args.binary}: {error}", file=sys.stderr)
+        return 1
+
+    if not image.has_eh_frame:
+        print(
+            "warning: binary has no .eh_frame section; FDE-based detection "
+            "will find nothing",
+            file=sys.stderr,
+        )
+
+    options = FetchOptions(
+        use_symbols=args.use_symbols,
+        use_recursion=not args.no_recursion,
+        use_pointer_validation=not args.no_xref,
+        use_tail_call_analysis=not args.no_tailcall,
+    )
+    result = FetchDetector(options).detect(image)
+
+    starts = sorted(result.function_starts)
+    print(f"# {len(starts)} function starts detected in {args.binary}")
+    stage_of: dict[int, str] = {}
+    if args.stages:
+        for stage, added in result.added_by_stage.items():
+            for address in added:
+                stage_of.setdefault(address, stage)
+    for address in starts:
+        if args.stages:
+            print(f"{address:#x}\t{stage_of.get(address, '?')}")
+        else:
+            print(f"{address:#x}")
+
+    if result.merged_parts:
+        print(f"# merged {len(result.merged_parts)} non-contiguous part(s):")
+        for part, parent in sorted(result.merged_parts.items()):
+            print(f"#   {part:#x} -> part of function {parent:#x}")
+
+    if args.compare_symbols and image.has_symbols:
+        symbol_starts = {s.address for s in image.function_symbols}
+        detected = set(starts)
+        print(f"# symbols: {len(symbol_starts)}, detected: {len(detected)}")
+        print(f"#   symbols not detected : {len(symbol_starts - detected)}")
+        print(f"#   detected not in symbols: {len(detected - symbol_starts)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""FETCH: function start detection from exception-handling information.
+
+This package implements the paper's contribution:
+
+* :mod:`repro.core.fde_source` — extraction of function-start candidates from
+  ``.eh_frame`` FDEs (§III),
+* :mod:`repro.core.tailcall` — Algorithm 1: conservative tail-call detection
+  and merging of non-contiguous function parts (§V-B),
+* :mod:`repro.core.pipeline` — the full FETCH pipeline (§VI): FDE extraction,
+  safe recursive disassembly, function-pointer validation, FDE-error fixing,
+  with every stage individually switchable so the paper's strategy ladders
+  (Figure 5) can be reproduced.
+"""
+
+from repro.core.fde_source import extract_fde_starts, fde_symbol_coverage
+from repro.core.results import DetectionResult
+from repro.core.tailcall import TailCallOutcome, detect_tail_calls_and_merge
+from repro.core.pipeline import FetchDetector, FetchOptions
+
+__all__ = [
+    "extract_fde_starts",
+    "fde_symbol_coverage",
+    "DetectionResult",
+    "TailCallOutcome",
+    "detect_tail_calls_and_merge",
+    "FetchDetector",
+    "FetchOptions",
+]

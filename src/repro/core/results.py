@@ -1,0 +1,42 @@
+"""Detection result model with per-stage attribution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.result import DisassemblyResult
+
+
+@dataclass
+class DetectionResult:
+    """The output of a detection pipeline run on one binary.
+
+    ``stages`` records, in pipeline order, which function starts each stage
+    added (positive attribution) and which it removed, so the coverage /
+    accuracy studies of §IV and §V can report per-strategy deltas.
+    """
+
+    binary_name: str
+    function_starts: set[int] = field(default_factory=set)
+    #: stage name -> starts added by that stage
+    added_by_stage: dict[str, set[int]] = field(default_factory=dict)
+    #: stage name -> starts removed by that stage
+    removed_by_stage: dict[str, set[int]] = field(default_factory=dict)
+    #: cold-part start -> parent function start, for merged parts
+    merged_parts: dict[int, int] = field(default_factory=dict)
+    #: tail-call targets promoted to function starts by Algorithm 1
+    tail_call_targets: set[int] = field(default_factory=set)
+    #: the final recursive-disassembly state (when the pipeline ran one)
+    disassembly: DisassemblyResult | None = None
+
+    def record_stage(self, name: str, added: set[int], removed: set[int] | None = None) -> None:
+        """Apply and record one stage's effect on the detected set."""
+        removed = removed or set()
+        self.added_by_stage[name] = set(added)
+        self.removed_by_stage[name] = set(removed)
+        self.function_starts |= added
+        self.function_starts -= removed
+
+    @property
+    def stage_names(self) -> list[str]:
+        return list(self.added_by_stage)

@@ -1,0 +1,183 @@
+"""Evaluation of CFI programs into per-PC unwind rows.
+
+The FETCH tail-call detector (§V-B of the paper) deliberately reads stack
+heights from call-frame information instead of running its own static
+analysis.  This module materialises an FDE's CFI program into a row table
+(one row per PC range) from which the stack height at any covered address can
+be looked up, and implements the paper's "complete stack height information"
+check: the CFA must always be expressed as ``rsp + offset`` with the canonical
+initial offset of 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dwarf import constants as C
+from repro.dwarf.structs import FdeRecord
+
+
+@dataclass
+class CfaRow:
+    """Unwind rules valid for addresses in ``[start, end)``.
+
+    ``cfa_register``/``cfa_offset`` are ``None`` when the CFA is defined by a
+    DWARF expression (which the conservative consumers treat as unknown).
+    """
+
+    start: int
+    end: int
+    cfa_register: int | None
+    cfa_offset: int | None
+    register_offsets: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def stack_height(self) -> int | None:
+        """Bytes pushed since function entry, derived from the CFA rule.
+
+        On x86-64 the CFA is the value of ``rsp`` just before the ``call``
+        into this function, so when the CFA is ``rsp + offset`` the current
+        stack height is ``offset - 8`` (the 8 accounts for the pushed return
+        address).  Returns ``None`` for frame-pointer-based or
+        expression-based CFA rules.
+        """
+        if self.cfa_register == C.DWARF_REG_RSP and self.cfa_offset is not None:
+            return self.cfa_offset - 8
+        return None
+
+
+@dataclass
+class CfaTable:
+    """The evaluated row table of a single FDE."""
+
+    fde: FdeRecord
+    rows: list[CfaRow]
+    uses_expression: bool = False
+
+    def row_at(self, address: int) -> CfaRow | None:
+        """The row covering ``address``, or ``None`` if outside the FDE."""
+        for row in self.rows:
+            if row.start <= address < row.end:
+                return row
+        return None
+
+    def stack_height_at(self, address: int) -> int | None:
+        """Stack height at ``address`` (bytes pushed since entry), if known."""
+        row = self.row_at(address)
+        if row is None:
+            return None
+        return row.stack_height
+
+    @property
+    def has_complete_stack_height(self) -> bool:
+        """The paper's conservativeness check (§V-B).
+
+        True when (i) every row's CFA is ``rsp``-relative with a known offset
+        and (ii) the first row starts from the canonical ``rsp + 8``.
+        """
+        if not self.rows or self.uses_expression:
+            return False
+        first = self.rows[0]
+        if first.cfa_register != C.DWARF_REG_RSP or first.cfa_offset != 8:
+            return False
+        return all(
+            row.cfa_register == C.DWARF_REG_RSP and row.cfa_offset is not None
+            for row in self.rows
+        )
+
+    def saved_registers_at(self, address: int) -> dict[int, int]:
+        """DWARF register number -> CFA-relative save slot at ``address``."""
+        row = self.row_at(address)
+        return dict(row.register_offsets) if row is not None else {}
+
+
+@dataclass
+class _State:
+    cfa_register: int | None = None
+    cfa_offset: int | None = None
+    register_offsets: dict[int, int] = field(default_factory=dict)
+
+    def copy(self) -> "_State":
+        return _State(self.cfa_register, self.cfa_offset, dict(self.register_offsets))
+
+
+def build_cfa_table(fde: FdeRecord) -> CfaTable:
+    """Evaluate a FDE's CFI program (with its CIE prologue) into rows."""
+    state = _State()
+    uses_expression = False
+
+    # CIE initial instructions establish the entry row.
+    for insn in fde.cie.initial_instructions:
+        uses_expression |= _apply(insn, state, [])
+
+    rows: list[CfaRow] = []
+    saved_states: list[_State] = []
+    initial_state = state.copy()
+    location = fde.pc_begin
+
+    for insn in fde.instructions:
+        if insn.name == "advance_loc":
+            delta = insn.operands[0]
+            rows.append(_snapshot(state, location, location + delta))
+            location += delta
+        elif insn.name == "restore":
+            register = insn.operands[0]
+            if register in initial_state.register_offsets:
+                state.register_offsets[register] = initial_state.register_offsets[register]
+            else:
+                state.register_offsets.pop(register, None)
+        elif insn.name == "restore_state":
+            if saved_states:
+                restored = saved_states.pop()
+                state.cfa_register = restored.cfa_register
+                state.cfa_offset = restored.cfa_offset
+                state.register_offsets = dict(restored.register_offsets)
+        elif insn.name == "remember_state":
+            saved_states.append(state.copy())
+        else:
+            uses_expression |= _apply(insn, state, saved_states)
+
+    rows.append(_snapshot(state, location, fde.pc_end))
+    # Collapse empty ranges that can appear when advance_loc reaches pc_end.
+    rows = [row for row in rows if row.end > row.start]
+    return CfaTable(fde=fde, rows=rows, uses_expression=uses_expression)
+
+
+def _apply(insn, state: _State, saved_states: list[_State]) -> bool:
+    """Apply a non-location CFI instruction to ``state``.
+
+    Returns True when the instruction makes the CFA expression-based.
+    """
+    name = insn.name
+    if name == "def_cfa":
+        state.cfa_register, state.cfa_offset = insn.operands
+    elif name == "def_cfa_register":
+        state.cfa_register = insn.operands[0]
+    elif name == "def_cfa_offset":
+        state.cfa_offset = insn.operands[0]
+    elif name == "def_cfa_expression":
+        state.cfa_register = None
+        state.cfa_offset = None
+        return True
+    elif name == "offset":
+        register, cfa_offset = insn.operands
+        state.register_offsets[register] = cfa_offset
+    elif name == "expression":
+        register = insn.operands[0]
+        state.register_offsets.pop(register, None)
+        return True
+    elif name in ("undefined", "same_value"):
+        state.register_offsets.pop(insn.operands[0], None)
+    elif name in ("nop", "gnu_args_size", "register"):
+        pass
+    return False
+
+
+def _snapshot(state: _State, start: int, end: int) -> CfaRow:
+    return CfaRow(
+        start=start,
+        end=end,
+        cfa_register=state.cfa_register,
+        cfa_offset=state.cfa_offset,
+        register_offsets=dict(state.register_offsets),
+    )

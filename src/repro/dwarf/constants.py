@@ -1,0 +1,77 @@
+"""DWARF CFI opcodes and LSB pointer-encoding constants."""
+
+from __future__ import annotations
+
+# --- Primary CFI opcodes (high two bits) -------------------------------
+DW_CFA_advance_loc = 0x40  # delta in low 6 bits
+DW_CFA_offset = 0x80  # register in low 6 bits, ULEB128 factored offset follows
+DW_CFA_restore = 0xC0  # register in low 6 bits
+
+# --- Extended CFI opcodes (low 6 bits, high bits zero) ------------------
+DW_CFA_nop = 0x00
+DW_CFA_set_loc = 0x01
+DW_CFA_advance_loc1 = 0x02
+DW_CFA_advance_loc2 = 0x03
+DW_CFA_advance_loc4 = 0x04
+DW_CFA_offset_extended = 0x05
+DW_CFA_restore_extended = 0x06
+DW_CFA_undefined = 0x07
+DW_CFA_same_value = 0x08
+DW_CFA_register = 0x09
+DW_CFA_remember_state = 0x0A
+DW_CFA_restore_state = 0x0B
+DW_CFA_def_cfa = 0x0C
+DW_CFA_def_cfa_register = 0x0D
+DW_CFA_def_cfa_offset = 0x0E
+DW_CFA_def_cfa_expression = 0x0F
+DW_CFA_expression = 0x10
+DW_CFA_offset_extended_sf = 0x11
+DW_CFA_def_cfa_sf = 0x12
+DW_CFA_def_cfa_offset_sf = 0x13
+DW_CFA_GNU_args_size = 0x2E
+
+# --- Pointer encodings (Linux Standard Base eh_frame spec) --------------
+DW_EH_PE_absptr = 0x00
+DW_EH_PE_uleb128 = 0x01
+DW_EH_PE_udata2 = 0x02
+DW_EH_PE_udata4 = 0x03
+DW_EH_PE_udata8 = 0x04
+DW_EH_PE_sleb128 = 0x09
+DW_EH_PE_sdata2 = 0x0A
+DW_EH_PE_sdata4 = 0x0B
+DW_EH_PE_sdata8 = 0x0C
+
+DW_EH_PE_pcrel = 0x10
+DW_EH_PE_textrel = 0x20
+DW_EH_PE_datarel = 0x30
+DW_EH_PE_funcrel = 0x40
+DW_EH_PE_aligned = 0x50
+DW_EH_PE_indirect = 0x80
+DW_EH_PE_omit = 0xFF
+
+# --- Register numbers used by CFI on x86-64 -----------------------------
+DWARF_REG_RSP = 7
+DWARF_REG_RBP = 6
+DWARF_REG_RA = 16  # return address column
+
+#: Human readable CFI opcode names used by the pretty printer and tests.
+CFA_OPCODE_NAMES = {
+    DW_CFA_nop: "DW_CFA_nop",
+    DW_CFA_set_loc: "DW_CFA_set_loc",
+    DW_CFA_advance_loc1: "DW_CFA_advance_loc1",
+    DW_CFA_advance_loc2: "DW_CFA_advance_loc2",
+    DW_CFA_advance_loc4: "DW_CFA_advance_loc4",
+    DW_CFA_offset_extended: "DW_CFA_offset_extended",
+    DW_CFA_restore_extended: "DW_CFA_restore_extended",
+    DW_CFA_undefined: "DW_CFA_undefined",
+    DW_CFA_same_value: "DW_CFA_same_value",
+    DW_CFA_register: "DW_CFA_register",
+    DW_CFA_remember_state: "DW_CFA_remember_state",
+    DW_CFA_restore_state: "DW_CFA_restore_state",
+    DW_CFA_def_cfa: "DW_CFA_def_cfa",
+    DW_CFA_def_cfa_register: "DW_CFA_def_cfa_register",
+    DW_CFA_def_cfa_offset: "DW_CFA_def_cfa_offset",
+    DW_CFA_def_cfa_expression: "DW_CFA_def_cfa_expression",
+    DW_CFA_expression: "DW_CFA_expression",
+    DW_CFA_GNU_args_size: "DW_CFA_GNU_args_size",
+}

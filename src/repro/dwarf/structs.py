@@ -1,0 +1,62 @@
+"""Record structures for parsed ``.eh_frame`` contents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dwarf.cfi import CfiInstruction
+
+
+@dataclass
+class CieRecord:
+    """A Common Information Entry.
+
+    Attributes:
+        offset: byte offset of the entry within the ``.eh_frame`` section.
+        version: CIE version (1 for ``.eh_frame`` emitted by GCC/Clang).
+        augmentation: augmentation string (typically ``"zR"``).
+        code_alignment: code alignment factor.
+        data_alignment: data alignment factor (``-8`` on x86-64).
+        return_address_register: DWARF number of the return-address column.
+        fde_pointer_encoding: DW_EH_PE encoding used for FDE pc pointers.
+        initial_instructions: CFI program establishing the initial row.
+    """
+
+    offset: int
+    version: int = 1
+    augmentation: str = "zR"
+    code_alignment: int = 1
+    data_alignment: int = -8
+    return_address_register: int = 16
+    fde_pointer_encoding: int = 0x1B
+    initial_instructions: list[CfiInstruction] = field(default_factory=list)
+
+
+@dataclass
+class FdeRecord:
+    """A Frame Description Entry describing one contiguous code range.
+
+    Attributes:
+        offset: byte offset of the entry within the ``.eh_frame`` section.
+        cie: the CIE this FDE refers to.
+        pc_begin: virtual address of the first covered instruction.
+        pc_range: length of the covered range in bytes.
+        instructions: the FDE's CFI program.
+        lsda: language-specific data area pointer, if present.
+    """
+
+    offset: int
+    cie: CieRecord
+    pc_begin: int
+    pc_range: int
+    instructions: list[CfiInstruction] = field(default_factory=list)
+    lsda: int | None = None
+
+    @property
+    def pc_end(self) -> int:
+        """Address one past the last covered byte."""
+        return self.pc_begin + self.pc_range
+
+    def covers(self, address: int) -> bool:
+        """Whether ``address`` falls inside the covered range."""
+        return self.pc_begin <= address < self.pc_end

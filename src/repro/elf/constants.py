@@ -1,0 +1,57 @@
+"""ELF-64 constants (the subset needed for x86-64 executables)."""
+
+from __future__ import annotations
+
+ELF_MAGIC = b"\x7fELF"
+
+# e_ident
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+ELFOSABI_SYSV = 0
+
+# e_type
+ET_EXEC = 2
+ET_DYN = 3
+
+# e_machine
+EM_X86_64 = 62
+
+# Section header types
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+
+# Section header flags
+SHF_WRITE = 0x1
+SHF_ALLOC = 0x2
+SHF_EXECINSTR = 0x4
+
+# Symbol binding
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STB_WEAK = 2
+
+# Symbol types
+STT_NOTYPE = 0
+STT_OBJECT = 1
+STT_FUNC = 2
+STT_SECTION = 3
+STT_FILE = 4
+
+# Program header types
+PT_LOAD = 1
+PT_GNU_EH_FRAME = 0x6474E550
+
+# Program header flags
+PF_X = 0x1
+PF_W = 0x2
+PF_R = 0x4
+
+# Sizes
+ELF_HEADER_SIZE = 64
+PROGRAM_HEADER_SIZE = 56
+SECTION_HEADER_SIZE = 64
+SYMBOL_ENTRY_SIZE = 24

@@ -1,0 +1,148 @@
+"""Loaded-binary facade used by all analyses.
+
+:class:`BinaryImage` wraps an :class:`~repro.elf.structs.ElfFile` and exposes
+the views the detection pipelines need: executable sections, data sections,
+the parsed ``.eh_frame`` records, function symbols, and address-based byte
+access.  It is constructed either from an ELF file on disk, raw ELF bytes, or
+directly from the in-memory output of the synthetic compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.dwarf.parser import parse_eh_frame
+from repro.dwarf.structs import CieRecord, FdeRecord
+from repro.elf import constants as C
+from repro.elf.reader import read_elf, read_elf_file
+from repro.elf.structs import ElfFile, Section, Symbol
+
+
+@dataclass
+class BinaryImage:
+    """A loaded binary, ready for analysis.
+
+    Attributes:
+        elf: the underlying parsed ELF description.
+        name: a human-readable identifier (file name or synthetic program name).
+    """
+
+    elf: ElfFile
+    name: str = "<anonymous>"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bytes(cls, data: bytes, name: str = "<bytes>") -> "BinaryImage":
+        """Load an image from raw ELF bytes."""
+        return cls(elf=read_elf(data), name=name)
+
+    @classmethod
+    def from_file(cls, path: str) -> "BinaryImage":
+        """Load an image from an ELF file on disk."""
+        return cls(elf=read_elf_file(path), name=path)
+
+    # ------------------------------------------------------------------
+    # Sections
+    # ------------------------------------------------------------------
+    @property
+    def sections(self) -> list[Section]:
+        return self.elf.sections
+
+    def section(self, name: str) -> Section | None:
+        return self.elf.section(name)
+
+    @cached_property
+    def text(self) -> Section:
+        """The primary executable section."""
+        section = self.elf.section(".text")
+        if section is not None:
+            return section
+        for candidate in self.elf.sections:
+            if candidate.is_executable:
+                return candidate
+        raise ValueError(f"{self.name}: no executable section found")
+
+    @property
+    def executable_sections(self) -> list[Section]:
+        return [s for s in self.elf.sections if s.is_executable and s.is_allocated]
+
+    @property
+    def data_sections(self) -> list[Section]:
+        """Allocated, non-executable sections (pointer-scan candidates)."""
+        return [
+            s
+            for s in self.elf.sections
+            if s.is_allocated and not s.is_executable and s.sh_type == C.SHT_PROGBITS
+            and s.name not in (".eh_frame", ".eh_frame_hdr")
+        ]
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def section_containing(self, address: int) -> Section | None:
+        return self.elf.section_containing(address)
+
+    def is_executable_address(self, address: int) -> bool:
+        section = self.section_containing(address)
+        return section is not None and section.is_executable
+
+    def read(self, address: int, size: int) -> bytes:
+        """Read bytes from the image at a virtual address."""
+        section = self.section_containing(address)
+        if section is None:
+            raise ValueError(f"{self.name}: unmapped address {address:#x}")
+        return section.read(address, size)
+
+    @property
+    def entry_point(self) -> int:
+        return self.elf.entry_point
+
+    # ------------------------------------------------------------------
+    # Symbols
+    # ------------------------------------------------------------------
+    @property
+    def symbols(self) -> list[Symbol]:
+        return self.elf.symbols
+
+    @cached_property
+    def function_symbols(self) -> list[Symbol]:
+        """Defined function symbols, sorted by address."""
+        functions = [
+            s
+            for s in self.elf.symbols
+            if s.is_function and s.section_name is not None and s.address
+        ]
+        return sorted(functions, key=lambda s: s.address)
+
+    @property
+    def has_symbols(self) -> bool:
+        return bool(self.function_symbols)
+
+    # ------------------------------------------------------------------
+    # Exception handling information
+    # ------------------------------------------------------------------
+    @property
+    def has_eh_frame(self) -> bool:
+        return self.elf.section(".eh_frame") is not None
+
+    @cached_property
+    def eh_frame_records(self) -> tuple[list[CieRecord], list[FdeRecord]]:
+        """Parsed ``(cies, fdes)`` from ``.eh_frame`` (empty when absent)."""
+        section = self.elf.section(".eh_frame")
+        if section is None or not section.data:
+            return [], []
+        return parse_eh_frame(section.data, section.address)
+
+    @property
+    def fdes(self) -> list[FdeRecord]:
+        return self.eh_frame_records[1]
+
+    def fde_covering(self, address: int) -> FdeRecord | None:
+        """The FDE whose PC range covers ``address``, if any."""
+        for fde in self.fdes:
+            if fde.covers(address):
+                return fde
+        return None

@@ -1,0 +1,129 @@
+"""ELF-64 reader.
+
+Parses the section header table, section contents and the symbol table of an
+x86-64 ELF image back into an :class:`~repro.elf.structs.ElfFile`, the shared
+in-memory representation all analyses operate on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.elf import constants as C
+from repro.elf.structs import ElfFile, Section, Symbol
+
+
+class ElfParseError(ValueError):
+    """Raised when the input is not a supported ELF image."""
+
+
+def read_elf(data: bytes) -> ElfFile:
+    """Parse an ELF image from raw bytes."""
+    if data[:4] != C.ELF_MAGIC:
+        raise ElfParseError("not an ELF file (bad magic)")
+    if data[4] != C.ELFCLASS64 or data[5] != C.ELFDATA2LSB:
+        raise ElfParseError("only little-endian ELF64 is supported")
+
+    (
+        elf_type,
+        machine,
+        _version,
+        entry_point,
+        _phoff,
+        shoff,
+        _flags,
+        _ehsize,
+        _phentsize,
+        _phnum,
+        shentsize,
+        shnum,
+        shstrndx,
+    ) = struct.unpack_from("<HHIQQQIHHHHHH", data, 16)
+    if machine != C.EM_X86_64:
+        raise ElfParseError(f"unsupported machine type {machine}")
+
+    raw_headers = []
+    for index in range(shnum):
+        offset = shoff + index * shentsize
+        raw_headers.append(struct.unpack_from("<IIQQQQIIQQ", data, offset))
+
+    shstrtab_offset = raw_headers[shstrndx][4]
+    shstrtab_size = raw_headers[shstrndx][5]
+    shstrtab = data[shstrtab_offset : shstrtab_offset + shstrtab_size]
+
+    def section_name(name_offset: int) -> str:
+        end = shstrtab.index(b"\x00", name_offset)
+        return shstrtab[name_offset:end].decode()
+
+    sections: list[Section] = []
+    section_names: list[str] = []
+    for header in raw_headers:
+        (sh_name, sh_type, sh_flags, sh_addr, sh_offset, sh_size, sh_link, sh_info,
+         sh_align, sh_entsize) = header
+        name = section_name(sh_name)
+        section_names.append(name)
+        if sh_type == C.SHT_NULL:
+            continue
+        contents = b"" if sh_type == C.SHT_NOBITS else data[sh_offset : sh_offset + sh_size]
+        sections.append(
+            Section(
+                name=name,
+                data=contents,
+                address=sh_addr,
+                sh_type=sh_type,
+                flags=sh_flags,
+                align=sh_align,
+                entsize=sh_entsize,
+                link=sh_link,
+                info=sh_info,
+            )
+        )
+
+    symbols = _parse_symbols(data, raw_headers, section_names)
+    return ElfFile(
+        sections=sections, symbols=symbols, entry_point=entry_point, elf_type=elf_type
+    )
+
+
+def read_elf_file(path: str) -> ElfFile:
+    """Parse an ELF image from a file on disk."""
+    with open(path, "rb") as stream:
+        return read_elf(stream.read())
+
+
+def _parse_symbols(
+    data: bytes, raw_headers: list[tuple], section_names: list[str]
+) -> list[Symbol]:
+    symbols: list[Symbol] = []
+    for header in raw_headers:
+        (sh_name, sh_type, _flags, _addr, sh_offset, sh_size, sh_link, _info,
+         _align, sh_entsize) = header
+        if sh_type != C.SHT_SYMTAB or sh_entsize == 0:
+            continue
+        strtab_header = raw_headers[sh_link]
+        strtab = data[strtab_header[4] : strtab_header[4] + strtab_header[5]]
+
+        def symbol_name(offset: int) -> str:
+            end = strtab.index(b"\x00", offset)
+            return strtab[offset:end].decode()
+
+        count = sh_size // sh_entsize
+        for index in range(1, count):  # skip the null symbol
+            entry_offset = sh_offset + index * sh_entsize
+            st_name, st_info, _other, st_shndx, st_value, st_size = struct.unpack_from(
+                "<IBBHQQ", data, entry_offset
+            )
+            sec_name = (
+                section_names[st_shndx] if 0 < st_shndx < len(section_names) else None
+            )
+            symbols.append(
+                Symbol(
+                    name=symbol_name(st_name),
+                    address=st_value,
+                    size=st_size,
+                    sym_type=st_info & 0xF,
+                    binding=st_info >> 4,
+                    section_name=sec_name,
+                )
+            )
+    return symbols

@@ -1,0 +1,113 @@
+"""Value objects describing ELF sections and symbols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf import constants as C
+
+
+@dataclass
+class Section:
+    """A section to be written into (or read from) an ELF file.
+
+    Attributes:
+        name: section name including the leading dot (``".text"``).
+        data: raw contents.
+        address: virtual address when loaded (0 for non-allocated sections).
+        sh_type: section header type (``SHT_PROGBITS`` ...).
+        flags: section header flags (``SHF_ALLOC`` | ...).
+        align: address alignment.
+        entsize: table entry size (symbol tables).
+        link: section header link field.
+        info: section header info field.
+    """
+
+    name: str
+    data: bytes = b""
+    address: int = 0
+    sh_type: int = C.SHT_PROGBITS
+    flags: int = C.SHF_ALLOC
+    align: int = 8
+    entsize: int = 0
+    link: int = 0
+    info: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end_address(self) -> int:
+        return self.address + len(self.data)
+
+    @property
+    def is_executable(self) -> bool:
+        return bool(self.flags & C.SHF_EXECINSTR)
+
+    @property
+    def is_writable(self) -> bool:
+        return bool(self.flags & C.SHF_WRITE)
+
+    @property
+    def is_allocated(self) -> bool:
+        return bool(self.flags & C.SHF_ALLOC)
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end_address
+
+    def read(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at virtual address ``address``."""
+        if not self.contains(address):
+            raise ValueError(f"address {address:#x} not in section {self.name}")
+        offset = address - self.address
+        return self.data[offset : offset + size]
+
+
+@dataclass
+class Symbol:
+    """An ELF symbol table entry.
+
+    Attributes:
+        name: symbol name.
+        address: symbol value (virtual address for defined symbols).
+        size: symbol size in bytes.
+        sym_type: ``STT_FUNC`` / ``STT_OBJECT`` / ...
+        binding: ``STB_LOCAL`` / ``STB_GLOBAL`` / ...
+        section_name: name of the defining section, or ``None`` if undefined.
+    """
+
+    name: str
+    address: int
+    size: int = 0
+    sym_type: int = C.STT_FUNC
+    binding: int = C.STB_GLOBAL
+    section_name: str | None = ".text"
+
+    @property
+    def is_function(self) -> bool:
+        return self.sym_type == C.STT_FUNC
+
+
+@dataclass
+class ElfFile:
+    """An in-memory description of an ELF executable."""
+
+    sections: list[Section] = field(default_factory=list)
+    symbols: list[Symbol] = field(default_factory=list)
+    entry_point: int = 0
+    elf_type: int = C.ET_EXEC
+
+    def section(self, name: str) -> Section | None:
+        """Find a section by name."""
+        for section in self.sections:
+            if section.name == name:
+                return section
+        return None
+
+    def section_containing(self, address: int) -> Section | None:
+        """The allocated section containing ``address``, if any."""
+        for section in self.sections:
+            if section.is_allocated and section.contains(address):
+                return section
+        return None

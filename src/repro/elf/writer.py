@@ -1,0 +1,218 @@
+"""ELF-64 executable writer.
+
+Serialises an :class:`~repro.elf.structs.ElfFile` into a well-formed ELF
+image: ELF header, one ``PT_LOAD`` program header per allocated section, a
+``PT_GNU_EH_FRAME`` header when an ``.eh_frame_hdr`` section is present,
+section contents, ``.symtab``/``.strtab``/``.shstrtab`` and the section header
+table.  The output parses with standard tooling (``readelf``) as well as with
+:mod:`repro.elf.reader`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.elf import constants as C
+from repro.elf.structs import ElfFile, Section, Symbol
+
+
+def _align(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def write_elf(elf: ElfFile) -> bytes:
+    """Serialise ``elf`` to bytes."""
+    return _ElfWriter(elf).render()
+
+
+def write_elf_file(elf: ElfFile, path: str) -> None:
+    """Serialise ``elf`` and write it to ``path``."""
+    data = write_elf(elf)
+    with open(path, "wb") as stream:
+        stream.write(data)
+
+
+class _ElfWriter:
+    def __init__(self, elf: ElfFile):
+        self.elf = elf
+        self.sections: list[Section] = [Section(name="", sh_type=C.SHT_NULL, flags=0, align=0)]
+        self.sections.extend(elf.sections)
+
+    # ------------------------------------------------------------------
+    def render(self) -> bytes:
+        self._append_symbol_sections()
+        shstrtab_index = self._append_shstrtab()
+
+        allocated = [s for s in self.sections if s.is_allocated and s.sh_type != C.SHT_NULL]
+        eh_frame_hdr = next((s for s in allocated if s.name == ".eh_frame_hdr"), None)
+        program_header_count = len(allocated) + (1 if eh_frame_hdr is not None else 0)
+
+        header_size = C.ELF_HEADER_SIZE + program_header_count * C.PROGRAM_HEADER_SIZE
+        offsets: dict[int, int] = {}
+        cursor = header_size
+        for index, section in enumerate(self.sections):
+            if section.sh_type == C.SHT_NULL:
+                offsets[index] = 0
+                continue
+            cursor = _align(cursor, max(section.align, 1))
+            offsets[index] = cursor
+            if section.sh_type != C.SHT_NOBITS:
+                cursor += len(section.data)
+        section_header_offset = _align(cursor, 8)
+
+        out = bytearray()
+        out += self._elf_header(program_header_count, section_header_offset, shstrtab_index)
+        out += self._program_headers(allocated, eh_frame_hdr, offsets)
+        for index, section in enumerate(self.sections):
+            if section.sh_type in (C.SHT_NULL, C.SHT_NOBITS):
+                continue
+            out += b"\x00" * (offsets[index] - len(out))
+            out += section.data
+        out += b"\x00" * (section_header_offset - len(out))
+        out += self._section_headers(offsets)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    def _append_symbol_sections(self) -> None:
+        strtab = bytearray(b"\x00")
+        name_offsets: dict[str, int] = {}
+
+        def intern(name: str) -> int:
+            if not name:
+                return 0
+            if name not in name_offsets:
+                name_offsets[name] = len(strtab)
+                strtab.extend(name.encode() + b"\x00")
+            return name_offsets[name]
+
+        section_indices = {section.name: idx for idx, section in enumerate(self.sections)}
+        symbols = sorted(self.elf.symbols, key=lambda s: s.binding != C.STB_LOCAL)
+        first_global = next(
+            (i for i, s in enumerate(symbols) if s.binding != C.STB_LOCAL), len(symbols)
+        )
+
+        symtab = bytearray(b"\x00" * C.SYMBOL_ENTRY_SIZE)  # null symbol
+        for symbol in symbols:
+            st_name = intern(symbol.name)
+            st_info = (symbol.binding << 4) | (symbol.sym_type & 0xF)
+            shndx = section_indices.get(symbol.section_name or "", 0)
+            symtab += struct.pack(
+                "<IBBHQQ", st_name, st_info, 0, shndx, symbol.address, symbol.size
+            )
+
+        symtab_index = len(self.sections)
+        self.sections.append(
+            Section(
+                name=".symtab",
+                data=bytes(symtab),
+                sh_type=C.SHT_SYMTAB,
+                flags=0,
+                entsize=C.SYMBOL_ENTRY_SIZE,
+                link=symtab_index + 1,
+                info=first_global + 1,
+            )
+        )
+        self.sections.append(
+            Section(name=".strtab", data=bytes(strtab), sh_type=C.SHT_STRTAB, flags=0, align=1)
+        )
+
+    def _append_shstrtab(self) -> int:
+        shstrtab = bytearray(b"\x00")
+        self._shstr_offsets: dict[str, int] = {"": 0}
+        index = len(self.sections)
+        names = [section.name for section in self.sections] + [".shstrtab"]
+        for name in names:
+            if name and name not in self._shstr_offsets:
+                self._shstr_offsets[name] = len(shstrtab)
+                shstrtab.extend(name.encode() + b"\x00")
+        self.sections.append(
+            Section(
+                name=".shstrtab", data=bytes(shstrtab), sh_type=C.SHT_STRTAB, flags=0, align=1
+            )
+        )
+        return index
+
+    # ------------------------------------------------------------------
+    def _elf_header(
+        self, program_header_count: int, section_header_offset: int, shstrtab_index: int
+    ) -> bytes:
+        e_ident = C.ELF_MAGIC + bytes(
+            [C.ELFCLASS64, C.ELFDATA2LSB, C.EV_CURRENT, C.ELFOSABI_SYSV]
+        ) + b"\x00" * 8
+        return e_ident + struct.pack(
+            "<HHIQQQIHHHHHH",
+            self.elf.elf_type,
+            C.EM_X86_64,
+            C.EV_CURRENT,
+            self.elf.entry_point,
+            C.ELF_HEADER_SIZE,
+            section_header_offset,
+            0,
+            C.ELF_HEADER_SIZE,
+            C.PROGRAM_HEADER_SIZE,
+            program_header_count,
+            C.SECTION_HEADER_SIZE,
+            len(self.sections),
+            shstrtab_index,
+        )
+
+    def _program_headers(
+        self,
+        allocated: list[Section],
+        eh_frame_hdr: Section | None,
+        offsets: dict[int, int],
+    ) -> bytes:
+        out = bytearray()
+        index_of = {id(section): idx for idx, section in enumerate(self.sections)}
+        for section in allocated:
+            flags = C.PF_R
+            if section.is_executable:
+                flags |= C.PF_X
+            if section.is_writable:
+                flags |= C.PF_W
+            file_size = 0 if section.sh_type == C.SHT_NOBITS else len(section.data)
+            out += struct.pack(
+                "<IIQQQQQQ",
+                C.PT_LOAD,
+                flags,
+                offsets[index_of[id(section)]],
+                section.address,
+                section.address,
+                file_size,
+                len(section.data),
+                max(section.align, 1),
+            )
+        if eh_frame_hdr is not None:
+            out += struct.pack(
+                "<IIQQQQQQ",
+                C.PT_GNU_EH_FRAME,
+                C.PF_R,
+                offsets[index_of[id(eh_frame_hdr)]],
+                eh_frame_hdr.address,
+                eh_frame_hdr.address,
+                len(eh_frame_hdr.data),
+                len(eh_frame_hdr.data),
+                4,
+            )
+        return bytes(out)
+
+    def _section_headers(self, offsets: dict[int, int]) -> bytes:
+        out = bytearray()
+        for index, section in enumerate(self.sections):
+            sh_name = self._shstr_offsets.get(section.name, 0)
+            out += struct.pack(
+                "<IIQQQQIIQQ",
+                sh_name,
+                section.sh_type,
+                section.flags,
+                section.address,
+                offsets[index],
+                len(section.data),
+                section.link,
+                section.info,
+                max(section.align, 1) if section.sh_type != C.SHT_NULL else 0,
+                section.entsize,
+            )
+        return bytes(out)

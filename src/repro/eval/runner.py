@@ -1,0 +1,493 @@
+"""Experiment runners for every table and figure of the paper.
+
+Each ``run_*`` function takes a corpus of synthetic binaries (see
+:mod:`repro.synth.corpus`) and returns plain data structures; the renderers
+in :mod:`repro.eval.tables` turn them into the text tables the benchmarks
+print and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.gadgets import count_rop_gadgets
+from repro.analysis.recursive import RecursiveDisassembler
+from repro.analysis.stackheight import StackHeightAnalysis
+from repro.baselines import AngrLike, AngrOptions, GhidraLike, GhidraOptions, all_comparison_tools
+from repro.core import FetchDetector, FetchOptions
+from repro.core.fde_source import extract_fde_starts, fde_symbol_coverage
+from repro.dwarf.cfa_table import build_cfa_table
+from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
+from repro.synth.compiler import SyntheticBinary
+from repro.synth.profiles import WildProfile
+
+
+# ----------------------------------------------------------------------
+# Strategy ladders (Figure 5)
+# ----------------------------------------------------------------------
+
+@dataclass
+class StrategyOutcome:
+    """One bar pair of Figure 5: a strategy and its corpus-level metrics."""
+
+    label: str
+    metrics: CorpusMetrics
+
+    @property
+    def full_coverage(self) -> int:
+        return self.metrics.binaries_with_full_coverage
+
+    @property
+    def full_accuracy(self) -> int:
+        return self.metrics.binaries_with_full_accuracy
+
+
+def _fde_only_metrics(corpus: list[SyntheticBinary]) -> CorpusMetrics:
+    metrics = CorpusMetrics()
+    for binary in corpus:
+        detected = extract_fde_starts(binary.image)
+        metrics.add(compute_metrics(binary.ground_truth, detected))
+    return metrics
+
+
+def _run_detector_over(corpus: list[SyntheticBinary], detector_factory) -> CorpusMetrics:
+    metrics = CorpusMetrics()
+    for binary in corpus:
+        detector = detector_factory()
+        result = detector.detect(binary.image)
+        metrics.add(compute_metrics(binary.ground_truth, result.function_starts))
+    return metrics
+
+
+def run_figure5a(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
+    """GHIDRA strategy ladder (Figure 5a)."""
+    ladder = [
+        ("FDE", None),
+        ("FDE+Rec+CFR", GhidraOptions(control_flow_repair=True)),
+        ("FDE+Rec", GhidraOptions()),
+        ("FDE+Rec+Fsig", GhidraOptions(function_matching=True)),
+        ("FDE+Rec+Tcall", GhidraOptions(tail_call_heuristic=True)),
+    ]
+    outcomes = []
+    for label, options in ladder:
+        if options is None:
+            metrics = _fde_only_metrics(corpus)
+        else:
+            metrics = _run_detector_over(corpus, lambda o=options: GhidraLike(o))
+        outcomes.append(StrategyOutcome(label=label, metrics=metrics))
+    return outcomes
+
+
+def run_figure5b(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
+    """ANGR strategy ladder (Figure 5b)."""
+    ladder = [
+        ("FDE", None),
+        ("FDE+Rec+Fmerg", AngrOptions(function_merging=True)),
+        ("FDE+Rec", AngrOptions()),
+        ("FDE+Rec+Fsig", AngrOptions(function_matching=True)),
+        ("FDE+Rec+Scan", AngrOptions(linear_scan=True)),
+        ("FDE+Rec+Tcall", AngrOptions(tail_call_heuristic=True)),
+    ]
+    outcomes = []
+    for label, options in ladder:
+        if options is None:
+            metrics = _fde_only_metrics(corpus)
+        else:
+            metrics = _run_detector_over(corpus, lambda o=options: AngrLike(o))
+        outcomes.append(StrategyOutcome(label=label, metrics=metrics))
+    return outcomes
+
+
+def run_figure5c(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
+    """The optimal-strategy ladder (Figure 5c) culminating in full FETCH."""
+    ladder = [
+        ("FDE", None),
+        (
+            "FDE+Rec",
+            FetchOptions(
+                validate_fde_starts=False,
+                use_pointer_validation=False,
+                use_tail_call_analysis=False,
+            ),
+        ),
+        (
+            "FDE+Rec+Xref",
+            FetchOptions(validate_fde_starts=False, use_tail_call_analysis=False),
+        ),
+        ("FDE+Rec+Xref+Tcall", FetchOptions()),
+    ]
+    outcomes = []
+    for label, options in ladder:
+        if options is None:
+            metrics = _fde_only_metrics(corpus)
+        else:
+            metrics = _run_detector_over(corpus, lambda o=options: FetchDetector(o))
+        outcomes.append(StrategyOutcome(label=label, metrics=metrics))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# §IV-B — Q1: FDE-only coverage
+# ----------------------------------------------------------------------
+
+@dataclass
+class FdeCoverageStudy:
+    """Q1 results: how well FDEs alone cover true function starts."""
+
+    binary_count: int = 0
+    total_functions: int = 0
+    covered_functions: int = 0
+    binaries_with_misses: int = 0
+    missed_by_kind: dict[str, int] = field(default_factory=dict)
+    symbol_count: int = 0
+    symbols_covered_by_fdes: int = 0
+
+    @property
+    def coverage_percent(self) -> float:
+        if self.total_functions == 0:
+            return 100.0
+        return 100.0 * self.covered_functions / self.total_functions
+
+
+def run_fde_coverage_study(corpus: list[SyntheticBinary]) -> FdeCoverageStudy:
+    study = FdeCoverageStudy()
+    missed_kinds: dict[str, int] = defaultdict(int)
+    for binary in corpus:
+        study.binary_count += 1
+        fde_starts = extract_fde_starts(binary.image)
+        truth = binary.ground_truth
+        study.total_functions += truth.function_count
+        covered = truth.function_starts & fde_starts
+        study.covered_functions += len(covered)
+        missed = truth.function_starts - fde_starts
+        if missed:
+            study.binaries_with_misses += 1
+            for address in missed:
+                info = truth.by_address(address)
+                missed_kinds[info.kind if info else "unknown"] += 1
+        coverage = fde_symbol_coverage(binary.image)
+        study.symbol_count += coverage.symbol_count
+        study.symbols_covered_by_fdes += coverage.covered_symbols
+    study.missed_by_kind = dict(missed_kinds)
+    return study
+
+
+# ----------------------------------------------------------------------
+# §V-A — errors introduced by FDEs
+# ----------------------------------------------------------------------
+
+@dataclass
+class FdeErrorStudy:
+    """How many false starts FDEs introduce and what they are."""
+
+    binary_count: int = 0
+    total_false_positives: int = 0
+    binaries_with_false_positives: int = 0
+    from_non_contiguous_functions: int = 0
+    from_handwritten_fdes: int = 0
+    rop_gadgets_at_false_starts: int = 0
+    worst_binary: str = ""
+    worst_binary_false_positives: int = 0
+
+
+def run_fde_error_study(corpus: list[SyntheticBinary]) -> FdeErrorStudy:
+    study = FdeErrorStudy()
+    for binary in corpus:
+        study.binary_count += 1
+        truth = binary.ground_truth
+        fde_starts = extract_fde_starts(binary.image)
+        false_positives = fde_starts - truth.function_starts
+        if false_positives:
+            study.binaries_with_false_positives += 1
+        study.total_false_positives += len(false_positives)
+        cold = false_positives & truth.cold_part_starts
+        study.from_non_contiguous_functions += len(cold)
+        study.from_handwritten_fdes += len(false_positives - cold)
+        study.rop_gadgets_at_false_starts += sum(
+            count_rop_gadgets(binary.image, address) for address in false_positives
+        )
+        if len(false_positives) > study.worst_binary_false_positives:
+            study.worst_binary_false_positives = len(false_positives)
+            study.worst_binary = binary.name
+    return study
+
+
+# ----------------------------------------------------------------------
+# §V-C — Algorithm 1 evaluation
+# ----------------------------------------------------------------------
+
+@dataclass
+class Algorithm1Study:
+    """Effect of Algorithm 1 on FDE-introduced errors."""
+
+    false_positives_before: int = 0
+    false_positives_after: int = 0
+    full_accuracy_before: int = 0
+    full_accuracy_after: int = 0
+    full_coverage_before: int = 0
+    full_coverage_after: int = 0
+    new_false_negatives: int = 0
+    new_false_negatives_tailcall_only: int = 0
+
+    @property
+    def false_positive_reduction_percent(self) -> float:
+        if self.false_positives_before == 0:
+            return 0.0
+        removed = self.false_positives_before - self.false_positives_after
+        return 100.0 * removed / self.false_positives_before
+
+
+def run_algorithm1_study(corpus: list[SyntheticBinary]) -> Algorithm1Study:
+    study = Algorithm1Study()
+    before_options = FetchOptions(validate_fde_starts=False, use_tail_call_analysis=False)
+    after_options = FetchOptions()
+
+    for binary in corpus:
+        truth = binary.ground_truth
+        before = FetchDetector(before_options).detect(binary.image)
+        after = FetchDetector(after_options).detect(binary.image)
+        metrics_before = compute_metrics(truth, before.function_starts)
+        metrics_after = compute_metrics(truth, after.function_starts)
+
+        study.false_positives_before += metrics_before.fp_count
+        study.false_positives_after += metrics_after.fp_count
+        study.full_accuracy_before += int(metrics_before.full_accuracy)
+        study.full_accuracy_after += int(metrics_after.full_accuracy)
+        study.full_coverage_before += int(metrics_before.full_coverage)
+        study.full_coverage_after += int(metrics_after.full_coverage)
+
+        introduced = metrics_after.false_negatives - metrics_before.false_negatives
+        study.new_false_negatives += len(introduced)
+        for address in introduced:
+            info = truth.by_address(address)
+            if info is not None and info.reachable_via == "tailcall":
+                study.new_false_negatives_tailcall_only += 1
+    return study
+
+
+# ----------------------------------------------------------------------
+# Table III — tool comparison
+# ----------------------------------------------------------------------
+
+@dataclass
+class ToolComparisonCell:
+    false_positives: int
+    false_negatives: int
+    functions: int
+
+
+def run_tool_comparison(
+    corpus: list[SyntheticBinary], *, include_fetch: bool = True
+) -> dict[str, dict[str, ToolComparisonCell]]:
+    """FP/FN per tool per optimisation level (Table III).
+
+    Returns ``{opt_level: {tool_name: ToolComparisonCell}}`` plus an ``Avg.``
+    row aggregating all levels.
+    """
+    tools = all_comparison_tools()
+    if include_fetch:
+        tools = tools + [FetchDetector()]
+
+    by_level: dict[str, dict[str, ToolComparisonCell]] = {}
+    totals: dict[str, list[int]] = defaultdict(lambda: [0, 0, 0])
+
+    groups: dict[str, list[SyntheticBinary]] = defaultdict(list)
+    for binary in corpus:
+        groups[binary.plan.profile.opt_level.value].append(binary)
+
+    for level, binaries in sorted(groups.items()):
+        row: dict[str, ToolComparisonCell] = {}
+        for tool in tools:
+            fp = fn = functions = 0
+            for binary in binaries:
+                result = tool.detect(binary.image)
+                metrics = compute_metrics(binary.ground_truth, result.function_starts)
+                fp += metrics.fp_count
+                fn += metrics.fn_count
+                functions += metrics.true_count
+            row[tool.name] = ToolComparisonCell(fp, fn, functions)
+            totals[tool.name][0] += fp
+            totals[tool.name][1] += fn
+            totals[tool.name][2] += functions
+        by_level[level] = row
+
+    by_level["Avg."] = {
+        name: ToolComparisonCell(*values) for name, values in totals.items()
+    }
+    return by_level
+
+
+# ----------------------------------------------------------------------
+# Table IV — stack-height analysis quality
+# ----------------------------------------------------------------------
+
+@dataclass
+class StackHeightCell:
+    """Precision / recall of a static stack-height analysis vs CFI."""
+
+    matching: int = 0
+    reported: int = 0
+    total: int = 0
+
+    @property
+    def precision(self) -> float:
+        return 100.0 * self.matching / self.reported if self.reported else 100.0
+
+    @property
+    def recall(self) -> float:
+        return 100.0 * self.matching / self.total if self.total else 100.0
+
+
+def run_stack_height_study(
+    corpus: list[SyntheticBinary],
+) -> dict[str, dict[str, dict[str, StackHeightCell]]]:
+    """Compare static stack-height analyses against CFI heights (Table IV).
+
+    Returns ``{opt_level: {flavor: {"full": cell, "jump": cell}}}``.
+    """
+    flavors = ("angr", "dyninst")
+    results: dict[str, dict[str, dict[str, StackHeightCell]]] = {}
+
+    groups: dict[str, list[SyntheticBinary]] = defaultdict(list)
+    for binary in corpus:
+        groups[binary.plan.profile.opt_level.value].append(binary)
+
+    for level, binaries in sorted(groups.items()):
+        cells = {
+            flavor: {"full": StackHeightCell(), "jump": StackHeightCell()}
+            for flavor in flavors
+        }
+        for binary in binaries:
+            image = binary.image
+            fdes = {fde.pc_begin: fde for fde in image.fdes}
+            disassembler = RecursiveDisassembler(image)
+            disassembly = disassembler.disassemble(set(fdes))
+            for start, function in disassembly.functions.items():
+                fde = fdes.get(start)
+                if fde is None:
+                    continue
+                table = build_cfa_table(fde)
+                if not table.has_complete_stack_height:
+                    continue
+                reference = {
+                    address: table.stack_height_at(address)
+                    for address in function.instructions
+                    if fde.covers(address)
+                }
+                for flavor in flavors:
+                    analysis = StackHeightAnalysis(flavor).analyze(function)
+                    for scope in ("full", "jump"):
+                        cell = cells[flavor][scope]
+                        for address, expected in reference.items():
+                            insn = function.instructions[address]
+                            if scope == "jump" and not insn.is_jump:
+                                continue
+                            cell.total += 1
+                            observed = analysis.get(address)
+                            if observed is None:
+                                continue
+                            cell.reported += 1
+                            if observed == expected:
+                                cell.matching += 1
+        results[level] = cells
+    return results
+
+
+# ----------------------------------------------------------------------
+# Table V — timing
+# ----------------------------------------------------------------------
+
+def run_timing_study(
+    corpus: list[SyntheticBinary], *, include_fetch: bool = True
+) -> dict[str, float]:
+    """Average analysis time per binary per tool, in seconds (Table V)."""
+    tools = all_comparison_tools()
+    if include_fetch:
+        tools = tools + [FetchDetector()]
+    timings: dict[str, float] = {}
+    for tool in tools:
+        start = time.perf_counter()
+        for binary in corpus:
+            tool.detect(binary.image)
+        elapsed = time.perf_counter() - start
+        timings[tool.name] = elapsed / max(len(corpus), 1)
+    return timings
+
+
+# ----------------------------------------------------------------------
+# Tables I and II — corpus characteristics
+# ----------------------------------------------------------------------
+
+@dataclass
+class WildRow:
+    software: str
+    open_source: bool
+    language: str
+    has_eh_frame: bool
+    has_symbols: bool
+    fde_symbol_percent: float | None
+
+
+def run_wild_study(corpus: list[tuple[WildProfile, SyntheticBinary]]) -> list[WildRow]:
+    """FDE-vs-symbol coverage over the wild corpus (Table I)."""
+    rows: list[WildRow] = []
+    for profile, binary in corpus:
+        image = binary.image
+        if image.has_symbols:
+            ratio = fde_symbol_coverage(image).percent
+        else:
+            ratio = None
+        rows.append(
+            WildRow(
+                software=profile.software,
+                open_source=profile.open_source,
+                language=profile.language,
+                has_eh_frame=image.has_eh_frame,
+                has_symbols=image.has_symbols,
+                fde_symbol_percent=ratio,
+            )
+        )
+    return rows
+
+
+@dataclass
+class SelfBuiltRow:
+    project: str
+    category: str
+    language: str
+    binaries: int
+    has_eh_frame: bool
+    fde_symbol_percent: float
+
+
+def run_selfbuilt_fde_study(corpus: list[SyntheticBinary]) -> list[SelfBuiltRow]:
+    """FDE-vs-symbol coverage per project over the self-built corpus (Table II)."""
+    by_project: dict[str, list[SyntheticBinary]] = defaultdict(list)
+    for binary in corpus:
+        project = binary.name.split("-")[0] if "-" in binary.name else binary.name
+        by_project[binary.name.split(":")[0].rsplit("-", 1)[0]].append(binary)
+
+    rows: list[SelfBuiltRow] = []
+    for project, binaries in sorted(by_project.items()):
+        symbols = 0
+        covered = 0
+        has_eh = True
+        for binary in binaries:
+            coverage = fde_symbol_coverage(binary.image)
+            symbols += coverage.symbol_count
+            covered += coverage.covered_symbols
+            has_eh &= binary.image.has_eh_frame
+        percent = 100.0 * covered / symbols if symbols else 100.0
+        rows.append(
+            SelfBuiltRow(
+                project=project,
+                category="",
+                language="",
+                binaries=len(binaries),
+                has_eh_frame=has_eh,
+                fde_symbol_percent=percent,
+            )
+        )
+    return rows

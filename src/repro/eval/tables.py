@@ -1,0 +1,177 @@
+"""Text renderers for the paper's tables and figures.
+
+Each renderer takes the output of the corresponding runner in
+:mod:`repro.eval.runner` and returns a printable string whose rows mirror the
+paper's presentation, so benchmark output and EXPERIMENTS.md can be compared
+against the original side by side.
+"""
+
+from __future__ import annotations
+
+from repro.eval.runner import (
+    Algorithm1Study,
+    FdeCoverageStudy,
+    FdeErrorStudy,
+    SelfBuiltRow,
+    StackHeightCell,
+    StrategyOutcome,
+    ToolComparisonCell,
+    WildRow,
+)
+
+#: Tool column order used by Table III / Table V (matches the paper).
+TOOL_ORDER = ("dyninst", "bap", "radare2", "nucleus", "ida", "ninja", "ghidra", "angr", "fetch")
+
+
+def render_strategy_outcomes(title: str, outcomes: list[StrategyOutcome]) -> str:
+    """Render a Figure 5 ladder as a text table."""
+    lines = [title, "-" * len(title)]
+    lines.append(f"{'strategy':<22} {'full coverage':>14} {'full accuracy':>14} {'binaries':>9}")
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.label:<22} {outcome.full_coverage:>14d} "
+            f"{outcome.full_accuracy:>14d} {outcome.metrics.binary_count:>9d}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure5(
+    figure5a: list[StrategyOutcome],
+    figure5b: list[StrategyOutcome],
+    figure5c: list[StrategyOutcome],
+) -> str:
+    """Render all three Figure 5 panels."""
+    return "\n\n".join(
+        [
+            render_strategy_outcomes("Figure 5a — GHIDRA strategies", figure5a),
+            render_strategy_outcomes("Figure 5b — ANGR strategies", figure5b),
+            render_strategy_outcomes("Figure 5c — optimal strategies (FETCH)", figure5c),
+        ]
+    )
+
+
+def render_table1(rows: list[WildRow]) -> str:
+    """Render the wild-binaries table (Table I)."""
+    lines = ["Table I — wild binaries", "-" * 60]
+    lines.append(f"{'software':<28} {'open':>5} {'EHF':>4} {'Sym':>4} {'FDE%':>7}  lang")
+    for row in rows:
+        fde = f"{row.fde_symbol_percent:6.2f}" if row.fde_symbol_percent is not None else "     -"
+        lines.append(
+            f"{row.software:<28} {'yes' if row.open_source else 'no':>5} "
+            f"{'yes' if row.has_eh_frame else 'no':>4} "
+            f"{'yes' if row.has_symbols else 'no':>4} {fde:>7}  {row.language}"
+        )
+    with_symbols = [r for r in rows if r.fde_symbol_percent is not None]
+    if with_symbols:
+        average = sum(r.fde_symbol_percent for r in with_symbols) / len(with_symbols)
+        lines.append(f"{'Avg. (with symbols)':<28} {'':>5} {'':>4} {'':>4} {average:7.2f}")
+    return "\n".join(lines)
+
+
+def render_table2(rows: list[SelfBuiltRow]) -> str:
+    """Render the self-built-programs table (Table II)."""
+    lines = ["Table II — self-built programs", "-" * 60]
+    lines.append(f"{'project':<24} {'bins':>5} {'EHF':>4} {'FDE%':>8}")
+    for row in rows:
+        lines.append(
+            f"{row.project:<24} {row.binaries:>5d} {'yes' if row.has_eh_frame else 'no':>4} "
+            f"{row.fde_symbol_percent:8.2f}"
+        )
+    total_bins = sum(r.binaries for r in rows)
+    average = sum(r.fde_symbol_percent for r in rows) / len(rows) if rows else 100.0
+    lines.append(f"{'Total / Avg.':<24} {total_bins:>5d} {'':>4} {average:8.2f}")
+    return "\n".join(lines)
+
+
+def render_table3(results: dict[str, dict[str, ToolComparisonCell]]) -> str:
+    """Render the tool comparison (Table III): FP / FN per tool per opt level."""
+    lines = ["Table III — comparison with existing tools (FP / FN counts)", "-" * 100]
+    tools = [t for t in TOOL_ORDER if any(t in row for row in results.values())]
+    header = f"{'OPT':<6}" + "".join(f"{tool:>16}" for tool in tools)
+    lines.append(header)
+    lines.append(f"{'':<6}" + "".join(f"{'FP':>8}{'FN':>8}" for _ in tools))
+    for level, row in results.items():
+        cells = []
+        for tool in tools:
+            cell = row.get(tool)
+            if cell is None:
+                cells.append(f"{'-':>8}{'-':>8}")
+            else:
+                cells.append(f"{cell.false_positives:>8d}{cell.false_negatives:>8d}")
+        lines.append(f"{level:<6}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_table4(results: dict[str, dict[str, dict[str, StackHeightCell]]]) -> str:
+    """Render the stack-height analysis comparison (Table IV)."""
+    lines = ["Table IV — stack-height analyses vs CFI baseline (precision / recall %)", "-" * 78]
+    lines.append(
+        f"{'OPT':<6}{'angr full':>18}{'angr jump':>18}{'dyninst full':>18}{'dyninst jump':>18}"
+    )
+    for level, flavors in results.items():
+        def cell(flavor: str, scope: str) -> str:
+            entry = flavors[flavor][scope]
+            return f"{entry.precision:6.2f}/{entry.recall:6.2f}"
+
+        lines.append(
+            f"{level:<6}{cell('angr', 'full'):>18}{cell('angr', 'jump'):>18}"
+            f"{cell('dyninst', 'full'):>18}{cell('dyninst', 'jump'):>18}"
+        )
+    return "\n".join(lines)
+
+
+def render_table5(timings: dict[str, float]) -> str:
+    """Render the per-binary analysis time comparison (Table V)."""
+    lines = ["Table V — average time to analyse a binary (seconds)", "-" * 60]
+    tools = [t for t in TOOL_ORDER if t in timings]
+    lines.append("".join(f"{tool:>11}" for tool in tools))
+    lines.append("".join(f"{timings[tool]:>11.3f}" for tool in tools))
+    return "\n".join(lines)
+
+
+def render_fde_coverage(study: FdeCoverageStudy) -> str:
+    """Render the Q1 study (§IV-B)."""
+    lines = [
+        "Q1 — coverage of function starts using FDEs alone",
+        "-" * 56,
+        f"binaries analysed          : {study.binary_count}",
+        f"true function starts       : {study.total_functions}",
+        f"covered by FDEs            : {study.covered_functions} ({study.coverage_percent:.2f}%)",
+        f"binaries with missed starts: {study.binaries_with_misses}",
+        f"symbols covered by FDEs    : {study.symbols_covered_by_fdes}/{study.symbol_count}",
+        f"missed, by function kind   : {study.missed_by_kind}",
+    ]
+    return "\n".join(lines)
+
+
+def render_fde_errors(study: FdeErrorStudy) -> str:
+    """Render the §V-A error study."""
+    lines = [
+        "§V-A — false function starts introduced by FDEs",
+        "-" * 56,
+        f"binaries analysed              : {study.binary_count}",
+        f"FDE-introduced false positives : {study.total_false_positives}",
+        f"binaries affected              : {study.binaries_with_false_positives}",
+        f"from non-contiguous functions  : {study.from_non_contiguous_functions}",
+        f"from hand-written FDEs         : {study.from_handwritten_fdes}",
+        f"ROP gadgets at false starts    : {study.rop_gadgets_at_false_starts}",
+        f"worst binary                   : {study.worst_binary} "
+        f"({study.worst_binary_false_positives} false starts)",
+    ]
+    return "\n".join(lines)
+
+
+def render_algorithm1(study: Algorithm1Study) -> str:
+    """Render the §V-C Algorithm 1 evaluation."""
+    lines = [
+        "§V-C — Algorithm 1 (tail-call detection and merging)",
+        "-" * 56,
+        f"false positives before         : {study.false_positives_before}",
+        f"false positives after          : {study.false_positives_after}"
+        f"  ({study.false_positive_reduction_percent:.1f}% removed)",
+        f"full-accuracy binaries         : {study.full_accuracy_before} -> {study.full_accuracy_after}",
+        f"full-coverage binaries         : {study.full_coverage_before} -> {study.full_coverage_after}",
+        f"new false negatives            : {study.new_false_negatives} "
+        f"({study.new_false_negatives_tailcall_only} tail-call-only, harmless)",
+    ]
+    return "\n".join(lines)

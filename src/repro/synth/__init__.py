@@ -1,0 +1,49 @@
+"""Synthetic binary generation.
+
+The paper evaluates on 1,395 real binaries; those cannot be redistributed and
+no compiler toolchain is assumed here, so this package provides a synthetic
+"compiler" that emits genuine x86-64 ELF executables containing the binary
+constructs the study hinges on — FDE-covered functions, non-contiguous
+(hot/cold split) functions, tail calls, jump tables, indirect-call-only
+functions, hand-written assembly without call frames, noreturn functions,
+alignment padding and data-in-text — together with compiler-accurate ground
+truth about true function starts.
+
+Entry points:
+
+* :func:`~repro.synth.workloads.plan_program` — plan a program's functions,
+* :func:`~repro.synth.compiler.compile_program` — lower a plan to a binary,
+* :func:`~repro.synth.corpus.build_selfbuilt_corpus` /
+  :func:`~repro.synth.corpus.build_wild_corpus` — the Dataset-2 / Dataset-1
+  analogues used by every experiment.
+"""
+
+from repro.synth.profiles import BuildProfile, OptLevel, CompilerFamily, WildProfile
+from repro.synth.groundtruth import FunctionInfo, GroundTruth
+from repro.synth.plan import FunctionPlan, ProgramPlan
+from repro.synth.workloads import plan_program
+from repro.synth.compiler import SyntheticBinary, compile_program
+from repro.synth.corpus import (
+    build_selfbuilt_corpus,
+    build_wild_corpus,
+    SELFBUILT_PROJECTS,
+    WILD_SOFTWARE,
+)
+
+__all__ = [
+    "BuildProfile",
+    "OptLevel",
+    "CompilerFamily",
+    "WildProfile",
+    "FunctionInfo",
+    "GroundTruth",
+    "FunctionPlan",
+    "ProgramPlan",
+    "plan_program",
+    "SyntheticBinary",
+    "compile_program",
+    "build_selfbuilt_corpus",
+    "build_wild_corpus",
+    "SELFBUILT_PROJECTS",
+    "WILD_SOFTWARE",
+]

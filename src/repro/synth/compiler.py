@@ -1,0 +1,442 @@
+"""Lowering of program plans to ELF binaries.
+
+The compiler performs the back-end work a real toolchain would: code
+generation for every function (via :mod:`repro.synth.funcgen`), layout of hot
+parts, data-in-text blobs and the cold region, relocation resolution,
+emission of ``.rodata``/``.data`` objects, ``.eh_frame``/``.eh_frame_hdr``
+construction, symbol table generation and ground-truth recording.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dwarf import cfi as cfi_mod
+from repro.dwarf.cfi import CfiInstruction
+from repro.dwarf.encoder import EhFrameBuilder, default_cie_instructions
+from repro.elf import constants as EC
+from repro.elf.image import BinaryImage
+from repro.elf.structs import ElfFile, Section, Symbol
+from repro.synth.funcgen import (
+    DataObject,
+    FunctionCode,
+    Part,
+    PointerTo,
+    Reloc,
+    generate_function,
+)
+from repro.synth.groundtruth import FunctionInfo, GroundTruth
+from repro.synth.plan import ProgramPlan
+from repro.x86.assembler import Assembler
+from repro.x86.operands import Mem
+
+_ASM = Assembler()
+
+_PAGE = 0x1000
+
+
+@dataclass
+class SyntheticBinary:
+    """A compiled synthetic binary plus its ground truth."""
+
+    name: str
+    image: BinaryImage
+    ground_truth: GroundTruth
+    plan: ProgramPlan
+    elf_bytes: bytes = b""
+
+    @property
+    def function_count(self) -> int:
+        return self.ground_truth.function_count
+
+
+@dataclass
+class _PlacedPart:
+    part: Part
+    address: int
+    function: FunctionCode
+
+
+def _align(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def compile_program(plan: ProgramPlan, *, keep_elf_bytes: bool = True) -> SyntheticBinary:
+    """Compile ``plan`` into an ELF image with ground truth."""
+    rng = random.Random(f"codegen:{plan.name}")
+    codes = [generate_function(function_plan, rng) for function_plan in plan.functions]
+
+    placed, text_data, labels, text_end = _layout_text(plan, codes, rng)
+    rodata_section, data_section, labels = _layout_data(plan, codes, labels, text_end)
+    text_section = Section(
+        name=".text",
+        data=_resolve_text(plan, placed, text_data, labels),
+        address=plan.text_address,
+        flags=EC.SHF_ALLOC | EC.SHF_EXECINSTR,
+        align=16,
+    )
+
+    sections = [text_section, rodata_section, data_section]
+    if plan.emit_eh_frame:
+        sections.extend(_build_eh_frame(plan, placed, data_section))
+
+    symbols = _build_symbols(plan, placed, labels)
+    entry = labels.get("_start", labels.get("main", plan.text_address))
+    elf = ElfFile(sections=sections, symbols=symbols, entry_point=entry)
+    elf_bytes = b""
+    if keep_elf_bytes:
+        from repro.elf.writer import write_elf
+
+        elf_bytes = write_elf(elf)
+
+    ground_truth = _build_ground_truth(plan, placed)
+    image = BinaryImage(elf=elf, name=plan.name)
+    return SyntheticBinary(
+        name=plan.name,
+        image=image,
+        ground_truth=ground_truth,
+        plan=plan,
+        elf_bytes=elf_bytes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Text layout
+# ----------------------------------------------------------------------
+
+def _layout_text(
+    plan: ProgramPlan, codes: list[FunctionCode], rng: random.Random
+) -> tuple[list[_PlacedPart], list[tuple[int, bytes]], dict[str, int], int]:
+    """Assign addresses to every part, blob and label.
+
+    Returns the placed parts, the fixed filler/blob bytes keyed by address,
+    the global label map and the end address of .text.
+    """
+    labels: dict[str, int] = {}
+    placed: list[_PlacedPart] = []
+    filler: list[tuple[int, bytes]] = []
+    cursor = plan.text_address
+
+    use_int3_padding = plan.profile.compiler.value == "clang"
+    blobs = list(plan.data_in_text)
+    blob_interval = max(1, len(codes) // max(len(blobs), 1)) if blobs else 0
+
+    def pad_to(target: int) -> None:
+        nonlocal cursor
+        if target > cursor:
+            padding = _ASM.int3_padding(target - cursor) if use_int3_padding else _ASM.nop(
+                target - cursor
+            )
+            filler.append((cursor, padding))
+            cursor = target
+
+    cold_parts: list[tuple[Part, FunctionCode]] = []
+    for index, code in enumerate(codes):
+        aligned = _align(cursor, code.hot.alignment)
+        pad_to(aligned)
+        _place_part(code.hot, code, aligned, placed, labels)
+        cursor = aligned + code.hot.size
+        if code.cold is not None:
+            cold_parts.append((code.cold, code))
+
+        if blobs and blob_interval and index % blob_interval == blob_interval - 1:
+            blob = blobs.pop(0)
+            aligned = _align(cursor, 8)
+            pad_to(aligned)
+            filler.append((aligned, blob))
+            cursor = aligned + len(blob)
+
+    # Remaining blobs and then the cold region (".text.unlikely" analogue).
+    for blob in blobs:
+        aligned = _align(cursor, 8)
+        pad_to(aligned)
+        filler.append((aligned, blob))
+        cursor = aligned + len(blob)
+
+    cold_base = _align(cursor, 16)
+    pad_to(cold_base)
+    for cold, code in cold_parts:
+        aligned = _align(cursor, max(cold.alignment, 1))
+        pad_to(aligned)
+        _place_part(cold, code, aligned, placed, labels)
+        cursor = aligned + cold.size
+
+    end = _align(cursor, 16)
+    pad_to(end)
+    return placed, filler, labels, end
+
+
+def _place_part(
+    part: Part,
+    code: FunctionCode,
+    address: int,
+    placed: list[_PlacedPart],
+    labels: dict[str, int],
+) -> None:
+    placed.append(_PlacedPart(part=part, address=address, function=code))
+    labels[part.name] = address
+    for label, offset in part.labels.items():
+        labels[label] = address + offset
+
+
+def _resolve_text(
+    plan: ProgramPlan,
+    placed: list[_PlacedPart],
+    filler: list[tuple[int, bytes]],
+    labels: dict[str, int],
+) -> bytes:
+    """Resolve relocations and produce the final .text contents."""
+    pieces: list[tuple[int, bytes]] = list(filler)
+    for placement in placed:
+        pieces.append((placement.address, _resolve_part(placement, labels)))
+
+    pieces.sort(key=lambda item: item[0])
+    out = bytearray()
+    for address, data in pieces:
+        offset = address - plan.text_address
+        if offset < len(out):
+            raise ValueError(f"text layout overlap at {address:#x}")
+        out.extend(b"\x00" * (offset - len(out)))
+        out.extend(data)
+    return bytes(out)
+
+
+def _resolve_part(placement: _PlacedPart, labels: dict[str, int]) -> bytes:
+    out = bytearray()
+    for item in placement.part.items:
+        if isinstance(item, (bytes, bytearray)):
+            out.extend(item)
+            continue
+        assert isinstance(item, Reloc)
+        address = placement.address + len(out)
+        encoded = _encode_reloc(item, address, labels)
+        if len(encoded) != item.size:
+            raise ValueError(
+                f"relocation {item.kind}->{item.target} encoded to {len(encoded)} bytes, "
+                f"expected {item.size}"
+            )
+        out.extend(encoded)
+    if len(out) != placement.part.size:
+        raise ValueError(
+            f"part {placement.part.name}: size mismatch {len(out)} != {placement.part.size}"
+        )
+    return bytes(out)
+
+
+def _encode_reloc(reloc: Reloc, address: int, labels: dict[str, int]) -> bytes:
+    try:
+        target = labels[reloc.target]
+    except KeyError as exc:
+        raise KeyError(f"unresolved relocation target {reloc.target!r}") from exc
+
+    if reloc.kind == "call":
+        return _ASM.call_rel32(target - (address + 5))
+    if reloc.kind == "jmp":
+        return _ASM.jmp_rel32(target - (address + 5))
+    if reloc.kind == "jcc":
+        return _ASM.jcc_rel32(reloc.cc, target - (address + 6))
+    if reloc.kind == "lea":
+        return _ASM.lea(reloc.reg, Mem(rip_relative=True, disp=target - (address + 7)))
+    if reloc.kind == "mov_load_rip":
+        return _ASM.mov_load(reloc.reg, Mem(rip_relative=True, disp=target - (address + 7)))
+    if reloc.kind == "call_mem_rip":
+        return _ASM.call_mem(Mem(rip_relative=True, disp=target - (address + 6)))
+    if reloc.kind == "jmp_mem_rip":
+        return _ASM.jmp_mem(Mem(rip_relative=True, disp=target - (address + 6)))
+    if reloc.kind == "mov_imm_addr":
+        return _ASM.mov_ri32(reloc.reg, target)
+    raise ValueError(f"unknown relocation kind {reloc.kind}")
+
+
+# ----------------------------------------------------------------------
+# Data sections
+# ----------------------------------------------------------------------
+
+def _layout_data(
+    plan: ProgramPlan, codes: list[FunctionCode], labels: dict[str, int], text_end: int
+) -> tuple[Section, Section, dict[str, int]]:
+    rodata_address = _align(text_end + _PAGE, _PAGE)
+
+    rodata_objects: list[DataObject] = []
+    data_objects: list[DataObject] = []
+    for code in codes:
+        for obj in code.data_objects:
+            (rodata_objects if obj.section == ".rodata" else data_objects).append(obj)
+
+    # Function-pointer slots live in .data (writable globals).
+    for slot, target in plan.data_pointers.items():
+        data_objects.append(DataObject(symbol=slot, items=[PointerTo(target)], section=".data"))
+
+    # Some read-only strings to give the data sections realistic content.
+    strings = [f"{plan.name}:message:{index}\x00".encode() for index in range(8)]
+    rodata_objects.append(DataObject(symbol=f"{plan.name}.strings", items=strings))
+
+    rodata_layout, rodata_size = _place_objects(rodata_objects, rodata_address, labels)
+    data_address = _align(rodata_address + rodata_size + 0x100, _PAGE)
+    data_layout, data_size = _place_objects(data_objects, data_address, labels)
+
+    rodata = Section(
+        name=".rodata",
+        data=_render_objects(rodata_layout, rodata_address, rodata_size, labels),
+        address=rodata_address,
+        flags=EC.SHF_ALLOC,
+        align=16,
+    )
+    data = Section(
+        name=".data",
+        data=_render_objects(data_layout, data_address, data_size, labels),
+        address=data_address,
+        flags=EC.SHF_ALLOC | EC.SHF_WRITE,
+        align=16,
+    )
+    return rodata, data, labels
+
+
+def _place_objects(
+    objects: list[DataObject], base: int, labels: dict[str, int]
+) -> tuple[list[tuple[int, DataObject]], int]:
+    layout: list[tuple[int, DataObject]] = []
+    cursor = base
+    for obj in objects:
+        cursor = _align(cursor, 8)
+        labels[obj.symbol] = cursor
+        layout.append((cursor, obj))
+        cursor += obj.size
+    return layout, cursor - base
+
+
+def _render_objects(
+    layout: list[tuple[int, DataObject]], base: int, size: int, labels: dict[str, int]
+) -> bytes:
+    out = bytearray(size)
+    for address, obj in layout:
+        cursor = address - base
+        for item in obj.items:
+            if isinstance(item, PointerTo):
+                value = labels[item.target]
+                out[cursor : cursor + 8] = value.to_bytes(8, "little")
+                cursor += 8
+            else:
+                out[cursor : cursor + len(item)] = item
+                cursor += len(item)
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# eh_frame
+# ----------------------------------------------------------------------
+
+def _build_eh_frame(
+    plan: ProgramPlan, placed: list[_PlacedPart], data_section: Section
+) -> list[Section]:
+    builder = EhFrameBuilder()
+    cie = builder.add_cie(initial_instructions=default_cie_instructions())
+
+    for placement in sorted(placed, key=lambda p: p.address):
+        part = placement.part
+        if not part.has_fde:
+            continue
+        instructions: list[CfiInstruction] = list(part.initial_cfi)
+        instructions.extend(_cfi_with_advances(part))
+        builder.add_fde(
+            cie,
+            placement.address + part.bad_fde_offset,
+            part.size,
+            instructions,
+        )
+
+    eh_frame_address = _align(data_section.end_address + 0x100, 16)
+    eh_frame_data = builder.build(eh_frame_address)
+    hdr_address = _align(eh_frame_address + len(eh_frame_data) + 8, 16)
+    hdr_data = builder.build_header(hdr_address, eh_frame_address, eh_frame_data)
+
+    return [
+        Section(
+            name=".eh_frame",
+            data=eh_frame_data,
+            address=eh_frame_address,
+            flags=EC.SHF_ALLOC,
+            align=8,
+        ),
+        Section(
+            name=".eh_frame_hdr",
+            data=hdr_data,
+            address=hdr_address,
+            flags=EC.SHF_ALLOC,
+            align=4,
+        ),
+    ]
+
+
+def _cfi_with_advances(part: Part) -> list[CfiInstruction]:
+    """Convert (offset, instruction) pairs into an advance_loc-based program."""
+    instructions: list[CfiInstruction] = []
+    location = 0
+    for offset, instruction in part.cfi:
+        if offset > location:
+            instructions.append(cfi_mod.advance_loc(offset - location))
+            location = offset
+        instructions.append(instruction)
+    return instructions
+
+
+# ----------------------------------------------------------------------
+# Symbols & ground truth
+# ----------------------------------------------------------------------
+
+def _build_symbols(
+    plan: ProgramPlan, placed: list[_PlacedPart], labels: dict[str, int]
+) -> list[Symbol]:
+    if plan.stripped:
+        return []
+    symbols: list[Symbol] = []
+    for placement in placed:
+        part = placement.part
+        if not part.has_symbol:
+            continue
+        symbols.append(
+            Symbol(
+                name=part.name,
+                address=placement.address,
+                size=part.size,
+                sym_type=EC.STT_FUNC if part.symbol_type == "func" else EC.STT_NOTYPE,
+                binding=EC.STB_LOCAL if part.is_cold else EC.STB_GLOBAL,
+                section_name=".text",
+            )
+        )
+    return symbols
+
+
+def _build_ground_truth(plan: ProgramPlan, placed: list[_PlacedPart]) -> GroundTruth:
+    truth = GroundTruth(name=plan.name)
+    hot_by_function: dict[str, _PlacedPart] = {}
+    cold_by_function: dict[str, list[int]] = {}
+    for placement in placed:
+        function_name = placement.function.plan.name
+        if placement.part.is_cold:
+            cold_by_function.setdefault(function_name, []).append(placement.address)
+        else:
+            hot_by_function[function_name] = placement
+
+    for function_plan in plan.functions:
+        placement = hot_by_function[function_plan.name]
+        truth.functions.append(
+            FunctionInfo(
+                name=function_plan.name,
+                address=placement.address,
+                size=placement.part.size,
+                kind=function_plan.kind,
+                reachable_via=function_plan.reachable_via,
+                has_fde=function_plan.has_fde and plan.emit_eh_frame,
+                has_symbol=function_plan.has_symbol and not plan.stripped,
+                frame=function_plan.frame,
+                is_noreturn=function_plan.is_noreturn,
+                cold_part_addresses=cold_by_function.get(function_plan.name, []),
+                violates_callconv=function_plan.violates_callconv,
+                bad_fde_offset=function_plan.bad_fde_offset,
+            )
+        )
+    return truth

@@ -1,0 +1,569 @@
+"""Per-function code generation.
+
+Lowers a :class:`~repro.synth.plan.FunctionPlan` into machine-code *items*
+(raw bytes plus symbolic relocations for calls, jumps and RIP-relative data
+references), the call-frame-information events that describe its stack
+behaviour, and any read-only data objects it needs (jump tables).  Layout and
+relocation resolution happen later in :mod:`repro.synth.compiler`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dwarf import cfi
+from repro.dwarf import constants as DC
+from repro.dwarf.cfi import CfiInstruction
+from repro.synth.plan import FunctionPlan
+from repro.x86.assembler import Assembler
+from repro.x86.operands import Mem
+from repro.x86.registers import (
+    ARGUMENT_REGISTERS,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    RAX,
+    RBP,
+    RBX,
+    RCX,
+    RDI,
+    RDX,
+    RSI,
+    RSP,
+    Register,
+)
+
+_ASM = Assembler()
+
+#: Callee-saved registers available for saving in prologues (besides rbp).
+_SAVEABLE = (RBX, R12, R13, R14, R15)
+#: Caller-saved scratch registers used for body statements.
+_SCRATCH = (RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11)
+
+
+@dataclass
+class Reloc:
+    """A symbolic instruction whose final encoding needs an address.
+
+    ``kind`` is one of ``call``, ``jmp``, ``jcc``, ``lea``, ``mov_load_rip``,
+    ``call_mem_rip``, ``jmp_mem_rip``, ``mov_imm_addr``.
+    """
+
+    kind: str
+    target: str
+    cc: str = ""
+    reg: Register | None = None
+
+    @property
+    def size(self) -> int:
+        if self.kind in ("call", "jmp"):
+            return 5
+        if self.kind == "jcc":
+            return 6
+        if self.kind in ("lea", "mov_load_rip"):
+            return 7
+        if self.kind in ("call_mem_rip", "jmp_mem_rip"):
+            return 6
+        if self.kind == "mov_imm_addr":
+            assert self.reg is not None
+            return 6 if self.reg.needs_rex else 5
+        raise ValueError(f"unknown reloc kind {self.kind}")
+
+
+@dataclass
+class PointerTo:
+    """An 8-byte absolute pointer to a label/symbol, stored in a data object."""
+
+    target: str
+
+
+@dataclass
+class DataObject:
+    """A read-only or writable data object emitted for a function."""
+
+    symbol: str
+    items: list = field(default_factory=list)
+    section: str = ".rodata"
+
+    @property
+    def size(self) -> int:
+        total = 0
+        for item in self.items:
+            total += 8 if isinstance(item, PointerTo) else len(item)
+        return total
+
+
+@dataclass
+class Part:
+    """One contiguous code region of a function (hot part or cold part)."""
+
+    name: str
+    items: list = field(default_factory=list)
+    size: int = 0
+    #: (offset-after-instruction, CFI instruction) pairs
+    cfi: list[tuple[int, CfiInstruction]] = field(default_factory=list)
+    #: CFI instructions establishing the state at part entry (cold parts)
+    initial_cfi: list[CfiInstruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    is_cold: bool = False
+    has_fde: bool = True
+    has_symbol: bool = True
+    symbol_type: str = "func"
+    alignment: int = 16
+    bad_fde_offset: int = 0
+
+
+@dataclass
+class FunctionCode:
+    """The generated code for one function."""
+
+    plan: FunctionPlan
+    hot: Part
+    cold: Part | None = None
+    data_objects: list[DataObject] = field(default_factory=list)
+
+    @property
+    def parts(self) -> list[Part]:
+        return [self.hot] + ([self.cold] if self.cold is not None else [])
+
+
+class _Emitter:
+    """Tracks byte offsets, CFI events and initialized registers for a part."""
+
+    def __init__(self, part: Part, frame: str):
+        self.part = part
+        self.frame = frame
+        self.stack_height = 0
+        self.initialized: set[Register] = {RSP, RBP}
+
+    # -- low level ------------------------------------------------------
+    def raw(self, data: bytes) -> None:
+        self.part.items.append(data)
+        self.part.size += len(data)
+
+    def reloc(self, reloc: Reloc) -> None:
+        self.part.items.append(reloc)
+        self.part.size += reloc.size
+
+    def label(self, name: str) -> None:
+        self.part.labels[name] = self.part.size
+
+    def cfi_here(self, instruction: CfiInstruction) -> None:
+        self.part.cfi.append((self.part.size, instruction))
+
+    # -- stack-affecting helpers -----------------------------------------
+    def push(self, reg: Register, *, record_cfa: bool = True) -> None:
+        self.raw(_ASM.push(reg))
+        self.stack_height += 8
+        if self.frame == "rsp" and record_cfa:
+            self.cfi_here(cfi.def_cfa_offset(self.stack_height + 8))
+
+    def pop(self, reg: Register, *, record_cfa: bool = True) -> None:
+        self.raw(_ASM.pop(reg))
+        self.stack_height -= 8
+        if self.frame == "rsp" and record_cfa:
+            self.cfi_here(cfi.def_cfa_offset(self.stack_height + 8))
+        self.initialized.add(reg)
+
+    def sub_rsp(self, amount: int) -> None:
+        self.raw(_ASM.sub_ri(RSP, amount))
+        self.stack_height += amount
+        if self.frame == "rsp":
+            self.cfi_here(cfi.def_cfa_offset(self.stack_height + 8))
+
+    def add_rsp(self, amount: int) -> None:
+        self.raw(_ASM.add_ri(RSP, amount))
+        self.stack_height -= amount
+        if self.frame == "rsp":
+            self.cfi_here(cfi.def_cfa_offset(self.stack_height + 8))
+
+    def call(self, target: str) -> None:
+        self.reloc(Reloc("call", target))
+        # A call clobbers the caller-saved registers and defines rax.
+        self.initialized -= set(_SCRATCH)
+        self.initialized |= {RAX, RSP, RBP}
+
+
+def generate_function(plan: FunctionPlan, rng: random.Random) -> FunctionCode:
+    """Generate the code items, CFI and data objects for ``plan``."""
+    hot = Part(
+        name=plan.name,
+        has_fde=plan.has_fde,
+        has_symbol=plan.has_symbol,
+        symbol_type=plan.symbol_type,
+        alignment=plan.alignment,
+        bad_fde_offset=plan.bad_fde_offset,
+    )
+    code = FunctionCode(plan=plan, hot=hot)
+    emitter = _Emitter(hot, plan.frame)
+
+    if plan.kind == "thunk":
+        _generate_thunk(plan, emitter)
+        return code
+    if plan.kind == "terminate":
+        _generate_terminate(plan, emitter)
+        return code
+
+    saved = _generate_prologue(plan, emitter)
+    _generate_body(plan, emitter, code, rng)
+    _generate_cold_part(plan, emitter, code, rng)
+    _generate_epilogue(plan, emitter, saved, rng)
+    return code
+
+
+# ----------------------------------------------------------------------
+# Prologue / epilogue
+# ----------------------------------------------------------------------
+
+def _generate_prologue(plan: FunctionPlan, emitter: _Emitter) -> list[Register]:
+    if plan.emits_endbr:
+        emitter.raw(_ASM.endbr64())
+
+    if plan.violates_callconv:
+        # Hand-written assembly reading a non-argument register on entry.
+        emitter.raw(_ASM.mov_rr(RAX, R10))
+        emitter.initialized.add(RAX)
+
+    if plan.frame == "rbp":
+        emitter.push(RBP, record_cfa=False)
+        emitter.cfi_here(cfi.def_cfa_offset(16))
+        emitter.cfi_here(cfi.offset(DC.DWARF_REG_RBP, -16))
+        emitter.raw(_ASM.mov_rr(RBP, RSP))
+        emitter.cfi_here(cfi.def_cfa_register(DC.DWARF_REG_RBP))
+
+    saved = list(_SAVEABLE[: plan.saved_registers])
+    for reg in saved:
+        emitter.push(reg)
+        emitter.cfi_here(
+            cfi.offset(reg.dwarf_number, -(emitter.stack_height + 8))
+        )
+    if plan.frame_size:
+        emitter.sub_rsp(plan.frame_size)
+
+    # Argument registers are live on entry.
+    emitter.initialized |= set(ARGUMENT_REGISTERS[: plan.arg_count])
+    return saved
+
+
+def _generate_epilogue(
+    plan: FunctionPlan, emitter: _Emitter, saved: list[Register], rng: random.Random
+) -> None:
+    if plan.noreturn_callee is not None and plan.kind == "entry":
+        # Startup code ends with a call that never returns (exit); the
+        # compiler emits no epilogue and no fall-through code after it.
+        emitter.raw(_ASM.mov_ri32(RDI, rng.randrange(1, 16)))
+        emitter.initialized.add(RDI)
+        emitter.call(plan.noreturn_callee)
+        return
+
+    if plan.is_noreturn:
+        # A noreturn function: terminate with ud2 (abort-style) instead of ret.
+        emitter.raw(_ASM.mov_ri32(RDI, 134))
+        emitter.raw(_ASM.ud2())
+        return
+
+    # Materialise a return value.
+    emitter.raw(_ASM.xor_rr32(RAX, RAX))
+    emitter.initialized.add(RAX)
+
+    if plan.frame_size:
+        emitter.add_rsp(plan.frame_size)
+    for reg in reversed(saved):
+        emitter.pop(reg)
+    if plan.frame == "rbp":
+        emitter.raw(_ASM.pop(RBP))
+        emitter.stack_height -= 8
+        emitter.cfi_here(cfi.def_cfa(DC.DWARF_REG_RSP, 8))
+
+    if plan.tail_call_to is not None:
+        emitter.reloc(Reloc("jmp", plan.tail_call_to))
+    else:
+        emitter.raw(_ASM.ret())
+
+
+# ----------------------------------------------------------------------
+# Body
+# ----------------------------------------------------------------------
+
+def _generate_body(
+    plan: FunctionPlan, emitter: _Emitter, code: FunctionCode, rng: random.Random
+) -> None:
+    pending_labels: list[str] = []
+    label_counter = 0
+
+    def new_label() -> str:
+        nonlocal label_counter
+        label_counter += 1
+        return f"{plan.name}.L{label_counter}"
+
+    if plan.jump_table_cases:
+        _generate_jump_table(plan, emitter, code, rng, new_label)
+
+    # References to address-taken functions: the address is materialised as a
+    # 32-bit immediate, which is one of the "constants in disassembled code"
+    # the paper's pointer collection (§IV-E) must consider.
+    for target in plan.address_refs:
+        emitter.reloc(Reloc("mov_imm_addr", target, reg=rng.choice((RSI, RDX, RCX))))
+
+    # Indirect calls through writable function-pointer slots.
+    for slot in plan.indirect_call_slots:
+        emitter.raw(_ASM.mov_ri32(RDI, rng.randrange(0, 128)))
+        emitter.initialized.add(RDI)
+        emitter.reloc(Reloc("call_mem_rip", slot))
+        emitter.initialized -= set(_SCRATCH)
+        emitter.initialized |= {RAX}
+
+    # Guarded fatal-error path: `if (unlikely) abort();` — the call never
+    # returns, but the rest of the function stays reachable through the
+    # branch around it, matching how compilers lay out such code.
+    if plan.noreturn_callee is not None and plan.kind != "entry":
+        skip_label = new_label()
+        ready = _initialized_scratch(emitter)
+        guard = ready[0] if ready else RDI
+        if guard not in emitter.initialized:
+            emitter.raw(_ASM.xor_rr32(guard, guard))
+            emitter.initialized.add(guard)
+        emitter.raw(_ASM.test_rr(guard, guard))
+        emitter.reloc(Reloc("jcc", skip_label, cc="ne"))
+        emitter.raw(_ASM.mov_ri32(RDI, rng.randrange(1, 64)))
+        emitter.call(plan.noreturn_callee)
+        emitter.label(skip_label)
+        emitter.initialized.add(RDI)
+
+    callees = list(plan.callees)
+    statements = max(plan.body_statements, len(callees) * 2)
+    placed_labels: list[str] = []
+
+    for index in range(statements):
+        # Resolve one pending forward label every other statement.
+        if pending_labels and rng.random() < 0.5:
+            label = pending_labels.pop(0)
+            emitter.label(label)
+            placed_labels.append(label)
+
+        choice = rng.random()
+        if callees and (choice < 0.30 or index >= statements - len(callees)):
+            _emit_call_statement(emitter, callees.pop(0), rng)
+        elif choice < 0.55:
+            _emit_arith_statement(emitter, rng)
+        elif choice < 0.75 and plan.frame_size >= 16:
+            _emit_memory_statement(emitter, plan, rng)
+        elif choice < 0.90:
+            label = new_label()
+            pending_labels.append(label)
+            _emit_forward_branch(emitter, label, rng)
+        elif placed_labels:
+            _emit_backward_branch(emitter, placed_labels, rng)
+        else:
+            _emit_arith_statement(emitter, rng)
+
+    for label in pending_labels:
+        emitter.label(label)
+    while callees:
+        _emit_call_statement(emitter, callees.pop(0), rng)
+
+
+def _initialized_scratch(emitter: _Emitter) -> list[Register]:
+    return [reg for reg in _SCRATCH if reg in emitter.initialized]
+
+
+def _emit_arith_statement(emitter: _Emitter, rng: random.Random) -> None:
+    ready = _initialized_scratch(emitter)
+    dst = rng.choice(_SCRATCH)
+    if not ready or rng.random() < 0.3:
+        if rng.random() < 0.5:
+            emitter.raw(_ASM.mov_ri(dst, rng.randrange(0, 1 << 20)))
+        else:
+            emitter.raw(_ASM.xor_rr32(dst, dst))
+        emitter.initialized.add(dst)
+        return
+    src = rng.choice(ready)
+    op = rng.choice(("mov", "add", "sub", "imul", "xor"))
+    if dst not in emitter.initialized and op != "mov":
+        emitter.raw(_ASM.mov_ri(dst, rng.randrange(0, 1 << 16)))
+        emitter.initialized.add(dst)
+    if op == "mov":
+        emitter.raw(_ASM.mov_rr(dst, src))
+    elif op == "add":
+        emitter.raw(_ASM.add_rr(dst, src))
+    elif op == "sub":
+        emitter.raw(_ASM.sub_rr(dst, src))
+    elif op == "imul":
+        emitter.raw(_ASM.imul_rr(dst, src))
+    else:
+        emitter.raw(_ASM.xor_rr(dst, src))
+    emitter.initialized.add(dst)
+
+
+def _emit_memory_statement(emitter: _Emitter, plan: FunctionPlan, rng: random.Random) -> None:
+    slot = 8 * rng.randrange(0, max(plan.frame_size // 8, 1))
+    slot = min(slot, plan.frame_size - 8)
+    mem = Mem(base=RSP, disp=slot)
+    ready = _initialized_scratch(emitter)
+    if ready and rng.random() < 0.5:
+        emitter.raw(_ASM.mov_store(mem, rng.choice(ready)))
+    else:
+        dst = rng.choice(_SCRATCH)
+        emitter.raw(_ASM.mov_load(dst, mem))
+        emitter.initialized.add(dst)
+
+
+def _emit_call_statement(emitter: _Emitter, callee: str, rng: random.Random) -> None:
+    emitter.raw(_ASM.mov_ri32(RDI, rng.randrange(0, 256)))
+    emitter.initialized.add(RDI)
+    if rng.random() < 0.5:
+        emitter.raw(_ASM.mov_ri32(RSI, rng.randrange(0, 256)))
+        emitter.initialized.add(RSI)
+    emitter.call(callee)
+
+
+def _emit_forward_branch(emitter: _Emitter, label: str, rng: random.Random) -> None:
+    ready = _initialized_scratch(emitter)
+    if ready:
+        reg = rng.choice(ready)
+        if rng.random() < 0.5:
+            emitter.raw(_ASM.test_rr(reg, reg))
+        else:
+            emitter.raw(_ASM.cmp_ri(reg, rng.randrange(0, 64)))
+    else:
+        emitter.raw(_ASM.xor_rr32(RAX, RAX))
+        emitter.initialized.add(RAX)
+        emitter.raw(_ASM.test_rr(RAX, RAX))
+    cc = rng.choice(("e", "ne", "g", "le", "a"))
+    emitter.reloc(Reloc("jcc", label, cc=cc))
+
+
+def _emit_backward_branch(emitter: _Emitter, placed: list[str], rng: random.Random) -> None:
+    ready = _initialized_scratch(emitter)
+    reg = rng.choice(ready) if ready else RAX
+    if reg not in emitter.initialized:
+        emitter.raw(_ASM.xor_rr32(reg, reg))
+        emitter.initialized.add(reg)
+    emitter.raw(_ASM.cmp_ri(reg, rng.randrange(1, 32)))
+    emitter.reloc(Reloc("jcc", rng.choice(placed), cc=rng.choice(("ne", "l", "b"))))
+
+
+# ----------------------------------------------------------------------
+# Jump tables
+# ----------------------------------------------------------------------
+
+def _generate_jump_table(
+    plan: FunctionPlan,
+    emitter: _Emitter,
+    code: FunctionCode,
+    rng: random.Random,
+    new_label,
+) -> None:
+    cases = plan.jump_table_cases
+    table_symbol = f"{plan.name}.jumptable"
+    default_label = new_label()
+    end_label = new_label()
+    case_labels = [new_label() for _ in range(cases)]
+
+    # Bound check + indexed indirect jump through the table.
+    emitter.raw(_ASM.cmp_ri(RDI, cases - 1))
+    emitter.reloc(Reloc("jcc", default_label, cc="a"))
+    emitter.reloc(Reloc("lea", table_symbol, reg=RAX))
+    emitter.initialized.add(RAX)
+    emitter.raw(_ASM.jmp_mem(Mem(base=RAX, index=RDI, scale=8)))
+
+    for label in case_labels:
+        emitter.label(label)
+        _emit_arith_statement(emitter, rng)
+        emitter.reloc(Reloc("jmp", end_label))
+    emitter.label(default_label)
+    _emit_arith_statement(emitter, rng)
+    emitter.label(end_label)
+
+    code.data_objects.append(
+        DataObject(
+            symbol=table_symbol,
+            items=[PointerTo(label) for label in case_labels],
+            section=".rodata",
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Cold parts (non-contiguous functions)
+# ----------------------------------------------------------------------
+
+def _generate_cold_part(
+    plan: FunctionPlan, emitter: _Emitter, code: FunctionCode, rng: random.Random
+) -> None:
+    if not plan.cold_split:
+        return
+
+    cold_entry = f"{plan.name}.cold"
+    return_label = f"{plan.name}.cold_return"
+
+    # The hot part branches to the cold part on an unlikely condition.
+    ready = _initialized_scratch(emitter)
+    reg = ready[0] if ready else RDI
+    if reg not in emitter.initialized:
+        emitter.raw(_ASM.xor_rr32(reg, reg))
+        emitter.initialized.add(reg)
+    emitter.raw(_ASM.test_rr(reg, reg))
+    emitter.reloc(Reloc("jcc", cold_entry, cc="e"))
+    emitter.label(return_label)
+
+    cold = Part(
+        name=cold_entry,
+        is_cold=True,
+        has_fde=plan.has_fde,
+        has_symbol=plan.has_symbol,
+        alignment=1,
+    )
+    # The cold part's FDE starts with the stack state at the branch site.
+    if plan.frame == "rbp":
+        cold.initial_cfi = [
+            cfi.def_cfa(DC.DWARF_REG_RBP, 16),
+            cfi.offset(DC.DWARF_REG_RBP, -16),
+        ]
+    else:
+        cold.initial_cfi = [cfi.def_cfa_offset(emitter.stack_height + 8)]
+
+    cold_emitter = _Emitter(cold, plan.frame)
+    cold_emitter.stack_height = emitter.stack_height
+    cold_emitter.initialized = set(emitter.initialized)
+
+    for _ in range(rng.randrange(2, 5)):
+        _emit_arith_statement(cold_emitter, rng)
+    noreturn_callees = [c for c in plan.cold_callees if c]
+    if noreturn_callees and rng.random() < 0.6:
+        # Typical cold path: report an error and abort (no jump back).
+        cold_emitter.raw(_ASM.mov_ri32(RDI, rng.randrange(1, 64)))
+        cold_emitter.initialized.add(RDI)
+        cold_emitter.call(noreturn_callees[0])
+    else:
+        for callee in noreturn_callees:
+            _emit_call_statement(cold_emitter, callee, rng)
+        cold_emitter.reloc(Reloc("jmp", return_label))
+
+    code.cold = cold
+
+
+# ----------------------------------------------------------------------
+# Special function kinds
+# ----------------------------------------------------------------------
+
+def _generate_thunk(plan: FunctionPlan, emitter: _Emitter) -> None:
+    if plan.emits_endbr:
+        emitter.raw(_ASM.endbr64())
+    target = plan.tail_call_to or (plan.callees[0] if plan.callees else plan.name)
+    emitter.reloc(Reloc("jmp", target))
+
+
+def _generate_terminate(plan: FunctionPlan, emitter: _Emitter) -> None:
+    # Models clang's __clang_call_terminate: a tiny statically-linked helper
+    # without call-frame information.
+    emitter.push(RAX, record_cfa=False)
+    if plan.callees:
+        emitter.call(plan.callees[0])
+    emitter.raw(_ASM.ud2())

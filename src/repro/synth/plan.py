@@ -1,0 +1,96 @@
+"""Program and function plans — the synthetic compiler's input IR.
+
+A :class:`ProgramPlan` is the "source program": a list of
+:class:`FunctionPlan` records describing each function's shape (frame style,
+callees, tail calls, cold split, jump table, reachability) plus program-wide
+options (stripping, data-in-text blobs).  The planner
+(:mod:`repro.synth.workloads`) produces plans from a build profile and a
+seed; the compiler (:mod:`repro.synth.compiler`) lowers them to ELF binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.synth.profiles import BuildProfile
+
+
+@dataclass
+class FunctionPlan:
+    """Shape of one function to generate."""
+
+    name: str
+    #: "normal" | "asm" | "noreturn" | "thunk" | "terminate" | "entry"
+    kind: str = "normal"
+    #: "rsp" (frame-pointer omitted) or "rbp" (frame pointer kept)
+    frame: str = "rsp"
+    arg_count: int = 2
+    frame_size: int = 0
+    saved_registers: int = 0
+    #: names of functions called directly from the hot part
+    callees: list[str] = field(default_factory=list)
+    #: a callee invoked as the final, non-returning call (no fallthrough)
+    noreturn_callee: str | None = None
+    #: name of the function tail-called at the end (None for a normal return)
+    tail_call_to: str | None = None
+    #: number of jump-table cases (0 = no jump table)
+    jump_table_cases: int = 0
+    #: whether the function has a non-contiguous cold part
+    cold_split: bool = False
+    #: functions called from the cold part
+    cold_callees: list[str] = field(default_factory=list)
+    has_fde: bool = True
+    has_symbol: bool = True
+    #: symbol type emitted for this function: "func" or "notype" (the paper's
+    #: assembly functions whose symbols have incomplete types)
+    symbol_type: str = "func"
+    #: how the function is reached: "call" | "indirect" | "tailcall" |
+    #: "entry" | "unreachable"
+    reachable_via: str = "call"
+    #: address-taken style for indirect targets: "table" | "immediate" | None
+    address_taken_via: str | None = None
+    is_noreturn: bool = False
+    #: deliberately read a non-argument register at entry (hand-written asm)
+    violates_callconv: bool = False
+    #: shift the FDE's PC begin by this many bytes (hand-written CFI error)
+    bad_fde_offset: int = 0
+    #: number of filler statements in the body
+    body_statements: int = 6
+    emits_endbr: bool = False
+    alignment: int = 16
+    #: data symbols holding function pointers this function calls through
+    #: (lowered to ``call qword [rip + slot]``)
+    indirect_call_slots: list[str] = field(default_factory=list)
+    #: functions whose addresses this function materialises as 32-bit
+    #: immediates (address-taken functions referenced from code constants)
+    address_refs: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ProgramPlan:
+    """A whole program to compile."""
+
+    name: str
+    profile: BuildProfile
+    functions: list[FunctionPlan] = field(default_factory=list)
+    #: raw blobs to embed between functions in .text (jump-table remnants,
+    #: hand-coded machine code, string literals placed in the text segment)
+    data_in_text: list[bytes] = field(default_factory=list)
+    #: writable data slots holding function pointers: slot symbol -> target
+    data_pointers: dict[str, str] = field(default_factory=dict)
+    #: whether the symbol table is stripped from the output
+    stripped: bool = False
+    #: whether an .eh_frame section is emitted at all
+    emit_eh_frame: bool = True
+    #: base virtual address of the .text section
+    text_address: int = 0x401000
+
+    def function(self, name: str) -> FunctionPlan:
+        for plan in self.functions:
+            if plan.name == name:
+                return plan
+        raise KeyError(name)
+
+    @property
+    def function_names(self) -> list[str]:
+        return [plan.name for plan in self.functions]

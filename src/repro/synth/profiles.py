@@ -1,0 +1,119 @@
+"""Build profiles controlling synthetic code generation.
+
+A :class:`BuildProfile` plays the role of "compiler + optimisation level" in
+the paper's Dataset 2: it sets the frequency of the binary-level constructs
+that drive every experiment (cold splitting, tail calls, jump tables,
+frame-pointer frames, assembly functions, ...).  The frequencies are loosely
+modelled on how GCC and Clang behave at O2/O3/Os/Ofast — higher optimisation
+means more hot/cold splitting and more tail calls, ``Os`` means denser code
+with less padding — and are the lever by which optimisation levels produce
+differently-shaped results in Table III.
+
+:class:`WildProfile` models Dataset 1 (binaries "from the wild"): mostly
+stripped, varying language and compiler vintage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CompilerFamily(enum.Enum):
+    """The compiler whose idioms the generated code mimics."""
+
+    GCC = "gcc"
+    CLANG = "clang"
+
+
+class OptLevel(enum.Enum):
+    """Optimisation levels used in the paper's Dataset 2."""
+
+    O2 = "O2"
+    O3 = "O3"
+    OS = "Os"
+    OFAST = "Ofast"
+
+
+@dataclass(frozen=True)
+class BuildProfile:
+    """Construct frequencies for one compiler/opt-level combination.
+
+    All ``*_rate`` values are probabilities applied per function; ``*_count``
+    values are per-binary counts (scaled by program size by the planner).
+    """
+
+    compiler: CompilerFamily
+    opt_level: OptLevel
+    #: probability that a function is split into hot + cold parts
+    cold_split_rate: float
+    #: probability that a function keeps a frame pointer (rbp-based CFA)
+    frame_pointer_rate: float
+    #: probability that a function ends in a tail call to a shared function
+    tail_call_rate: float
+    #: probability that a function contains a switch lowered to a jump table
+    jump_table_rate: float
+    #: probability that a call site targets a noreturn function
+    noreturn_call_rate: float
+    #: functions written in assembly (no FDE) per 100 functions
+    asm_function_density: float
+    #: functions only reachable through function pointers, per 100 functions
+    indirect_only_density: float
+    #: functions only reachable via tail calls, per 100 functions
+    tailcall_only_density: float
+    #: unreachable assembly functions per 100 functions
+    unreachable_density: float
+    #: data blobs embedded in .text per 100 functions
+    data_in_text_density: float
+    #: function alignment in bytes
+    function_alignment: int
+    #: whether endbr64 landing pads are emitted
+    emits_endbr: bool
+    #: probability of a hand-written FDE with an off-by-one PC begin
+    bad_fde_rate: float
+
+
+def default_profile(compiler: CompilerFamily, opt_level: OptLevel) -> BuildProfile:
+    """The stock profile for a compiler / optimisation level pair."""
+    base = {
+        OptLevel.O2: dict(cold_split_rate=0.030, tail_call_rate=0.10, jump_table_rate=0.05,
+                          function_alignment=16),
+        OptLevel.O3: dict(cold_split_rate=0.045, tail_call_rate=0.12, jump_table_rate=0.06,
+                          function_alignment=16),
+        OptLevel.OFAST: dict(cold_split_rate=0.050, tail_call_rate=0.13, jump_table_rate=0.06,
+                             function_alignment=16),
+        OptLevel.OS: dict(cold_split_rate=0.012, tail_call_rate=0.15, jump_table_rate=0.04,
+                          function_alignment=4),
+    }[opt_level]
+    clang = compiler is CompilerFamily.CLANG
+    return BuildProfile(
+        compiler=compiler,
+        opt_level=opt_level,
+        frame_pointer_rate=0.10 if not clang else 0.08,
+        noreturn_call_rate=0.06,
+        asm_function_density=1.2,
+        indirect_only_density=0.8,
+        tailcall_only_density=0.6,
+        unreachable_density=0.3,
+        data_in_text_density=2.5,
+        # The paper's toolchains (GCC 8.1, LLVM 6.0) predate CET, so no endbr64.
+        emits_endbr=False,
+        bad_fde_rate=0.0004,
+        **base,
+    )
+
+
+@dataclass(frozen=True)
+class WildProfile:
+    """One row of the paper's Table I (a binary collected from the wild)."""
+
+    software: str
+    open_source: bool
+    language: str
+    compiler_note: str
+    has_eh_frame: bool
+    has_symbols: bool
+    #: number of source functions the synthetic stand-in should contain
+    function_count: int
+    #: e.g. 1.0 means FDEs cover every symbol (the common case in Table I)
+    fde_symbol_ratio: float = 1.0

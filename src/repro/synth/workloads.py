@@ -1,0 +1,436 @@
+"""Program planning: from a build profile to a :class:`ProgramPlan`.
+
+The planner decides, deterministically from a seed, how many functions a
+program has, how they call each other, and which functions exhibit the
+constructs the paper's experiments revolve around (cold splits, tail calls,
+jump tables, assembly functions without FDEs, indirect-only targets,
+noreturn functions, hand-written CFI errors, data-in-text).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.synth.plan import FunctionPlan, ProgramPlan
+from repro.synth.profiles import BuildProfile, CompilerFamily
+
+
+@dataclass(frozen=True)
+class WorkloadTraits:
+    """Per-project traits that modulate the build profile.
+
+    Real projects differ much more than optimisation levels do: only a few
+    projects carry hand-written assembly (OpenSSL, glibc, Nginx) and cold
+    splitting concentrates in large C++ code bases.  These traits let the
+    corpus builder reproduce that concentration, which is what gives the
+    "binaries with full coverage / full accuracy" counts their shape.
+    """
+
+    #: multiplier on the profile's cold-split rate (0 disables splitting)
+    cold_split_multiplier: float = 1.0
+    #: whether the project contains hand-written assembly functions
+    has_assembly: bool = False
+    #: whether the project uses function pointers / callbacks heavily
+    uses_function_pointers: bool = True
+    #: whether the project is C++ (affects exception-style cold paths)
+    is_cpp: bool = False
+    #: average number of source functions per program
+    mean_functions: int = 120
+
+
+def plan_program(
+    name: str,
+    profile: BuildProfile,
+    *,
+    seed: int | str,
+    traits: WorkloadTraits | None = None,
+    function_count: int | None = None,
+    stripped: bool = False,
+    emit_eh_frame: bool = True,
+) -> ProgramPlan:
+    """Plan a synthetic program.
+
+    Args:
+        name: program name (used in symbol names and the ground truth).
+        profile: compiler/optimisation profile.
+        seed: RNG seed; the same seed always yields the same plan.
+        traits: per-project traits; defaults to a plain C project.
+        function_count: override the number of ordinary functions.
+        stripped: drop the symbol table from the output.
+        emit_eh_frame: emit the ``.eh_frame`` section (always true for
+            System-V x64 compilers; disabled only for synthetic negatives).
+    """
+    traits = traits or WorkloadTraits()
+    rng = random.Random(f"plan:{name}:{seed}")
+    count = function_count or max(12, int(rng.gauss(traits.mean_functions, traits.mean_functions * 0.25)))
+
+    plan = ProgramPlan(
+        name=name,
+        profile=profile,
+        stripped=stripped,
+        emit_eh_frame=emit_eh_frame,
+    )
+
+    runtime = _plan_runtime(profile, traits)
+    ordinary = _plan_ordinary_functions(profile, traits, rng, count)
+    specials = _plan_special_functions(profile, traits, rng, count)
+
+    plan.functions = runtime + ordinary + specials
+    _wire_call_graph(plan, profile, traits, rng, runtime, ordinary, specials)
+    _interleave_noreturn_neighbours(plan, rng)
+    _plan_data_in_text(plan, profile, traits, rng, count)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Function populations
+# ----------------------------------------------------------------------
+
+def _plan_runtime(profile: BuildProfile, traits: WorkloadTraits) -> list[FunctionPlan]:
+    """Runtime support functions every program carries."""
+    runtime = [
+        FunctionPlan(
+            name="_start",
+            kind="entry",
+            reachable_via="entry",
+            frame="rsp",
+            arg_count=0,
+            body_statements=3,
+            callees=["main"],
+            noreturn_callee="exit_impl",
+            emits_endbr=profile.emits_endbr,
+            alignment=profile.function_alignment,
+        ),
+        FunctionPlan(
+            name="exit_impl",
+            kind="noreturn",
+            is_noreturn=True,
+            arg_count=1,
+            body_statements=3,
+            emits_endbr=profile.emits_endbr,
+            alignment=profile.function_alignment,
+        ),
+        FunctionPlan(
+            name="abort_impl",
+            kind="noreturn",
+            is_noreturn=True,
+            arg_count=0,
+            body_statements=2,
+            emits_endbr=profile.emits_endbr,
+            alignment=profile.function_alignment,
+        ),
+        FunctionPlan(
+            name="main",
+            kind="normal",
+            arg_count=2,
+            frame_size=32,
+            saved_registers=2,
+            body_statements=12,
+            emits_endbr=profile.emits_endbr,
+            alignment=profile.function_alignment,
+        ),
+    ]
+    if profile.compiler is CompilerFamily.CLANG and traits.is_cpp:
+        runtime.append(
+            FunctionPlan(
+                name="__clang_call_terminate",
+                kind="terminate",
+                has_fde=False,
+                arg_count=0,
+                callees=["abort_impl"],
+                alignment=4,
+            )
+        )
+    return runtime
+
+
+def _plan_ordinary_functions(
+    profile: BuildProfile, traits: WorkloadTraits, rng: random.Random, count: int
+) -> list[FunctionPlan]:
+    functions: list[FunctionPlan] = []
+    cold_rate = profile.cold_split_rate * traits.cold_split_multiplier
+    for index in range(count):
+        frame = "rbp" if rng.random() < profile.frame_pointer_rate else "rsp"
+        cold_split = rng.random() < cold_rate
+        frame_size = rng.choice((0, 0, 16, 24, 32, 48, 64))
+        saved = rng.choice((0, 0, 1, 1, 2, 3))
+        if cold_split and frame_size == 0 and saved == 0:
+            # Keep the cold branch at a non-zero stack height so that the
+            # connecting jump can never look like a tail call.
+            frame_size = 16
+        jump_table = rng.random() < profile.jump_table_rate
+        plan = FunctionPlan(
+            name=f"fn_{index:04d}",
+            frame=frame,
+            arg_count=max(1, rng.randrange(0, 5)) if jump_table else rng.randrange(0, 5),
+            frame_size=frame_size,
+            saved_registers=saved,
+            jump_table_cases=rng.randrange(3, 9) if jump_table else 0,
+            cold_split=cold_split,
+            cold_callees=["abort_impl"] if (cold_split and rng.random() < 0.7) else [],
+            body_statements=rng.randrange(4, 22),
+            emits_endbr=profile.emits_endbr,
+            alignment=profile.function_alignment,
+        )
+        if rng.random() < profile.bad_fde_rate:
+            # A hand-written FDE whose PC Begin points into the middle of the
+            # prologue (the paper's Figure 6b case); offset 3 lands inside the
+            # `mov rbp, rsp` encoding, so the block fails validation.
+            plan.frame = "rbp"
+            plan.bad_fde_offset = 3
+        functions.append(plan)
+    return functions
+
+
+def _plan_special_functions(
+    profile: BuildProfile, traits: WorkloadTraits, rng: random.Random, count: int
+) -> list[FunctionPlan]:
+    """Assembly functions, indirect-only targets, tail-call-only targets."""
+    specials: list[FunctionPlan] = []
+
+    def per_hundred(density: float) -> int:
+        expected = density * count / 100.0
+        value = int(expected)
+        if rng.random() < (expected - value):
+            value += 1
+        return value
+
+    if traits.has_assembly:
+        for index in range(per_hundred(profile.asm_function_density)):
+            specials.append(
+                FunctionPlan(
+                    name=f"asm_{index:03d}",
+                    kind="asm",
+                    has_fde=False,
+                    symbol_type="notype",
+                    frame="rbp",
+                    arg_count=2,
+                    saved_registers=rng.randrange(0, 3),
+                    body_statements=rng.randrange(3, 10),
+                    alignment=16,
+                )
+            )
+        for index in range(per_hundred(profile.unreachable_density)):
+            specials.append(
+                FunctionPlan(
+                    name=f"asm_unreachable_{index:03d}",
+                    kind="asm",
+                    has_fde=False,
+                    symbol_type="notype",
+                    reachable_via="unreachable",
+                    frame="rbp",
+                    arg_count=0,
+                    body_statements=rng.randrange(2, 6),
+                    alignment=16,
+                )
+            )
+        for index in range(per_hundred(profile.tailcall_only_density)):
+            # Half of these satisfy the conservative calling-convention check
+            # (Algorithm 1 discovers them as tail-call targets); the other
+            # half read a scratch register on entry, which makes the check
+            # fail and models the paper's harmless misses.
+            violates = rng.random() < 0.5
+            specials.append(
+                FunctionPlan(
+                    name=f"asm_tail_{index:03d}",
+                    kind="asm",
+                    has_fde=False,
+                    symbol_type="notype",
+                    reachable_via="tailcall",
+                    violates_callconv=violates,
+                    arg_count=2,
+                    body_statements=rng.randrange(3, 8),
+                    alignment=16,
+                )
+            )
+        for index in range(per_hundred(profile.indirect_only_density)):
+            specials.append(
+                FunctionPlan(
+                    name=f"asm_indirect_{index:03d}",
+                    kind="asm",
+                    has_fde=False,
+                    symbol_type="notype",
+                    reachable_via="indirect",
+                    address_taken_via=rng.choice(("table", "immediate")),
+                    arg_count=1,
+                    body_statements=rng.randrange(3, 10),
+                    alignment=16,
+                )
+            )
+
+    if traits.uses_function_pointers:
+        # Callback / virtual-method style functions: they have FDEs (so
+        # FDE-based detection finds them) but are only ever reached through
+        # function pointers, which is what non-FDE tools tend to miss.
+        callback_density = 9.0 if traits.is_cpp else 4.0
+        for index in range(max(1, per_hundred(callback_density))):
+            specials.append(
+                FunctionPlan(
+                    name=f"callback_{index:03d}",
+                    kind="normal",
+                    reachable_via="indirect",
+                    address_taken_via="table",
+                    arg_count=2,
+                    frame_size=rng.choice((0, 16, 32)),
+                    body_statements=rng.randrange(3, 12),
+                    emits_endbr=profile.emits_endbr,
+                    alignment=profile.function_alignment,
+                )
+            )
+
+    # Tail-call-only targets *with* call frames: when the conservative
+    # calling-convention check fails for them, Algorithm 1 merges them into
+    # their caller — the paper's 161 harmless false negatives.
+    for index in range(per_hundred(profile.tailcall_only_density * 0.5)):
+        specials.append(
+            FunctionPlan(
+                name=f"tail_helper_{index:03d}",
+                kind="normal",
+                reachable_via="tailcall",
+                violates_callconv=True,
+                arg_count=2,
+                body_statements=rng.randrange(3, 9),
+                emits_endbr=False,
+                alignment=profile.function_alignment,
+            )
+        )
+    return specials
+
+
+# ----------------------------------------------------------------------
+# Call graph
+# ----------------------------------------------------------------------
+
+def _wire_call_graph(
+    plan: ProgramPlan,
+    profile: BuildProfile,
+    traits: WorkloadTraits,
+    rng: random.Random,
+    runtime: list[FunctionPlan],
+    ordinary: list[FunctionPlan],
+    specials: list[FunctionPlan],
+) -> None:
+    """Make every call-reachable function reachable from ``main``."""
+    main = next(f for f in runtime if f.name == "main")
+    callable_functions = [f for f in ordinary]
+
+    # Every ordinary function gets at least one direct caller that precedes it
+    # (main for the first few), producing an acyclic, fully-reachable graph.
+    for index, function in enumerate(callable_functions):
+        if index < 4:
+            caller = main
+        else:
+            caller = callable_functions[rng.randrange(0, index)]
+        caller.callees.append(function.name)
+
+    # Extra forward edges for a denser graph.
+    for index, caller in enumerate(callable_functions):
+        extra = rng.randrange(0, 3)
+        for _ in range(extra):
+            if index + 1 >= len(callable_functions):
+                break
+            callee = callable_functions[rng.randrange(index + 1, len(callable_functions))]
+            if callee.name not in caller.callees:
+                caller.callees.append(callee.name)
+
+    # Noreturn call sites.
+    for function in callable_functions:
+        if rng.random() < profile.noreturn_call_rate:
+            function.noreturn_callee = rng.choice(("abort_impl", "exit_impl"))
+
+    # Ordinary tail calls to shared (also directly-called) functions.
+    for index, function in enumerate(callable_functions):
+        if rng.random() < profile.tail_call_rate and index + 1 < len(callable_functions):
+            target = callable_functions[rng.randrange(index + 1, len(callable_functions))]
+            if function.noreturn_callee is None and not function.cold_split:
+                function.tail_call_to = target.name
+
+    # Direct-called assembly functions.
+    for special in specials:
+        if special.kind == "asm" and special.reachable_via == "call":
+            caller = rng.choice(callable_functions)
+            caller.callees.append(special.name)
+        elif special.kind == "terminate":
+            caller = rng.choice(callable_functions)
+            caller.callees.append(special.name)
+
+    # clang's terminate helper is invoked on an unlikely error path (the call
+    # never returns, so it must not sit mid-body in front of live code).
+    terminate = next((f for f in runtime if f.kind == "terminate"), None)
+    if terminate is not None:
+        candidates = [f for f in callable_functions if f.noreturn_callee is None]
+        host = rng.choice(candidates) if candidates else callable_functions[0]
+        host.noreturn_callee = terminate.name
+
+    # Tail-call-only targets: exactly one referencing jump, in one function.
+    for special in specials:
+        if special.reachable_via != "tailcall":
+            continue
+        candidates = [
+            f
+            for f in callable_functions
+            if f.tail_call_to is None and f.noreturn_callee is None and not f.cold_split
+        ]
+        caller = rng.choice(candidates) if candidates else main
+        caller.tail_call_to = special.name
+
+    # Indirect-only targets: address taken through a data slot or an
+    # immediate, called through a function pointer by some ordinary function.
+    for special in specials:
+        if special.reachable_via != "indirect":
+            continue
+        caller = rng.choice(callable_functions)
+        if special.address_taken_via == "immediate":
+            caller.address_refs.append(special.name)
+            # A second site performs the indirect call through a slot so the
+            # function is genuinely invoked.
+            slot = f"fptr_{special.name}"
+            plan.data_pointers[slot] = special.name
+            rng.choice(callable_functions).indirect_call_slots.append(slot)
+        else:
+            slot = f"fptr_{special.name}"
+            plan.data_pointers[slot] = special.name
+            caller.indirect_call_slots.append(slot)
+
+
+def _interleave_noreturn_neighbours(plan: ProgramPlan, rng: random.Random) -> None:
+    """Place some indirect-only functions right after noreturn call sites.
+
+    This is the layout situation GHIDRA's control-flow repairing mishandles:
+    the function after the noreturn call has no incoming direct control flow,
+    so the heuristic removes its (FDE-provided) start.
+    """
+    functions = plan.functions
+    indirect_only = [f for f in functions if f.reachable_via == "indirect"]
+    noreturn_enders = [
+        f for f in functions if f.is_noreturn or f.kind in ("noreturn", "terminate")
+    ]
+    rng.shuffle(indirect_only)
+    moved = 0
+    for ender, victim in zip(noreturn_enders, indirect_only):
+        if rng.random() > 0.45 or moved >= 2:
+            continue
+        functions.remove(victim)
+        functions.insert(functions.index(ender) + 1, victim)
+        moved += 1
+
+
+def _plan_data_in_text(
+    plan: ProgramPlan,
+    profile: BuildProfile,
+    traits: WorkloadTraits,
+    rng: random.Random,
+    count: int,
+) -> None:
+    """Embed data blobs in .text, some containing prologue look-alikes."""
+    blob_count = max(1, int(profile.data_in_text_density * count / 100.0))
+    for _ in range(blob_count):
+        size = rng.randrange(24, 96)
+        blob = bytearray(rng.randrange(0, 256) for _ in range(size))
+        if rng.random() < 0.85:
+            # A byte sequence that matches the classic push rbp; mov rbp, rsp
+            # prologue — bait for signature-matching heuristics.
+            offset = rng.randrange(0, size - 8)
+            blob[offset : offset + 4] = b"\x55\x48\x89\xe5"
+        plan.data_in_text.append(bytes(blob))

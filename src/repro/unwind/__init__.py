@@ -1,0 +1,21 @@
+"""Stack unwinding substrate (§III of the paper).
+
+This package demonstrates — and tests — the semantics that make ``.eh_frame``
+trustworthy for function detection: a small x86-64 emulator
+(:mod:`repro.unwind.emulator`) runs synthetic code until it traps, and the
+unwinder (:mod:`repro.unwind.unwinder`) then performs the three tasks the
+paper describes (T1: find the function containing the PC, T2: compute the CFA
+and return address, T3: restore callee-saved registers) to walk the call
+stack using only call-frame information.
+"""
+
+from repro.unwind.emulator import Emulator, EmulatorTrap, MachineState
+from repro.unwind.unwinder import StackUnwinder, UnwindFrame
+
+__all__ = [
+    "Emulator",
+    "EmulatorTrap",
+    "MachineState",
+    "StackUnwinder",
+    "UnwindFrame",
+]

@@ -1,0 +1,286 @@
+"""A small x86-64 emulator for the instruction subset of this library.
+
+The emulator exists to demonstrate exception-handling semantics end to end:
+it executes synthetic binaries far enough to build up a realistic call stack
+and then traps (on ``ud2``/``hlt``/``syscall``), at which point the
+:class:`~repro.unwind.unwinder.StackUnwinder` takes over using only
+``.eh_frame`` data — exactly the hand-off that happens between a crashing
+program and ``_Unwind_RaiseException`` in §III-B of the paper.
+
+Memory is modelled as a sparse byte dictionary; the stack is just ordinary
+memory.  Flags are reduced to the signed comparison result needed by the
+conditional jumps the synthetic compiler emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.elf.image import BinaryImage
+from repro.x86.disassembler import DecodeError, decode_instruction
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Imm, Mem
+from repro.x86.registers import GPR64, RBP, RSP, Register
+
+_MASK = (1 << 64) - 1
+
+
+class EmulatorTrap(Exception):
+    """Raised when execution reaches a trapping instruction or an error."""
+
+    def __init__(self, reason: str, state: "MachineState"):
+        super().__init__(reason)
+        self.reason = reason
+        self.state = state
+
+
+@dataclass
+class MachineState:
+    """Architectural state of the emulated machine."""
+
+    registers: dict[Register, int] = field(default_factory=dict)
+    rip: int = 0
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def read_register(self, register: Register) -> int:
+        return self.registers.get(register, 0)
+
+    def write_register(self, register: Register, value: int) -> None:
+        self.registers[register] = value & _MASK
+
+    def read_memory(self, address: int, size: int) -> int:
+        value = 0
+        for index in range(size):
+            value |= self.memory.get(address + index, 0) << (8 * index)
+        return value
+
+    def write_memory(self, address: int, value: int, size: int) -> None:
+        for index in range(size):
+            self.memory[address + index] = (value >> (8 * index)) & 0xFF
+
+
+class Emulator:
+    """Executes code from a :class:`BinaryImage` starting at its entry point."""
+
+    def __init__(self, image: BinaryImage, *, stack_top: int = 0x7FFF_F000):
+        self.image = image
+        self.state = MachineState()
+        self.state.write_register(RSP, stack_top)
+        self.state.write_register(RBP, stack_top)
+        self._zero_flag = False
+        self._sign_flag = False
+        self._carry_flag = False
+        #: addresses whose execution should raise a trap (e.g. a simulated
+        #: ``throw`` site), checked before executing the instruction there
+        self.trap_addresses: set[int] = set()
+        #: call stack of (call site, callee) pairs maintained for reference
+        self.call_trace: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    def run(self, start: int | None = None, *, max_instructions: int = 100_000) -> MachineState:
+        """Run until a trap instruction, a trap address or the budget expires."""
+        self.state.rip = start if start is not None else self.image.entry_point
+        for _ in range(max_instructions):
+            if self.state.rip in self.trap_addresses:
+                raise EmulatorTrap("trap address reached", self.state)
+            insn = self._fetch(self.state.rip)
+            self._execute(insn)
+        raise EmulatorTrap("instruction budget exhausted", self.state)
+
+    # ------------------------------------------------------------------
+    def _fetch(self, address: int) -> Instruction:
+        section = self.image.section_containing(address)
+        if section is None or not section.is_executable:
+            raise EmulatorTrap(f"jump to non-executable address {address:#x}", self.state)
+        try:
+            return decode_instruction(section.data, address - section.address, address)
+        except DecodeError as exc:
+            raise EmulatorTrap(f"invalid instruction: {exc}", self.state) from exc
+
+    def _read_operand(self, insn: Instruction, operand) -> int:
+        if isinstance(operand, Register):
+            return self.state.read_register(operand)
+        if isinstance(operand, Imm):
+            return operand.value & _MASK
+        if isinstance(operand, Mem):
+            return self.state.read_memory(self._effective_address(insn, operand), 8)
+        raise EmulatorTrap(f"unsupported operand {operand!r}", self.state)
+
+    def _effective_address(self, insn: Instruction, mem: Mem) -> int:
+        if mem.rip_relative:
+            return (insn.end + mem.disp) & _MASK
+        address = mem.disp
+        if mem.base is not None:
+            address += self.state.read_register(mem.base)
+        if mem.index is not None:
+            address += self.state.read_register(mem.index) * mem.scale
+        return address & _MASK
+
+    def _load_initial_memory(self, address: int, size: int) -> None:
+        section = self.image.section_containing(address)
+        if section is None:
+            return
+        data = section.read(address, size)
+        for index, byte in enumerate(data):
+            self.state.memory.setdefault(address + index, byte)
+
+    def _read_data(self, address: int, size: int) -> int:
+        if not any(address + i in self.state.memory for i in range(size)):
+            self._load_initial_memory(address, size)
+        return self.state.read_memory(address, size)
+
+    # ------------------------------------------------------------------
+    def _execute(self, insn: Instruction) -> None:
+        state = self.state
+        mnemonic = insn.mnemonic
+        next_rip = insn.end
+
+        if mnemonic in ("ud2", "hlt"):
+            raise EmulatorTrap(f"{mnemonic} executed", state)
+        if mnemonic == "syscall":
+            raise EmulatorTrap("syscall executed", state)
+
+        if mnemonic in ("nop", "endbr64"):
+            pass
+        elif mnemonic == "push":
+            value = self._read_operand(insn, insn.operands[0])
+            rsp = state.read_register(RSP) - 8
+            state.write_register(RSP, rsp)
+            state.write_memory(rsp, value, 8)
+        elif mnemonic == "pop":
+            rsp = state.read_register(RSP)
+            state.write_register(insn.operands[0], state.read_memory(rsp, 8))
+            state.write_register(RSP, rsp + 8)
+        elif mnemonic == "mov":
+            dst, src = insn.operands
+            value = self._operand_value(insn, src)
+            if isinstance(dst, Register):
+                state.write_register(dst, value)
+            else:
+                state.write_memory(self._effective_address(insn, dst), value, 8)
+        elif mnemonic == "lea":
+            dst, src = insn.operands
+            state.write_register(dst, self._effective_address(insn, src))
+        elif mnemonic in ("movsxd", "movzx", "movsx"):
+            dst, src = insn.operands
+            state.write_register(dst, self._operand_value(insn, src))
+        elif mnemonic in ("add", "sub", "xor", "and", "or", "imul", "shl", "sar", "shr"):
+            self._arithmetic(insn, mnemonic)
+        elif mnemonic in ("cmp", "test"):
+            self._compare(insn, mnemonic)
+        elif mnemonic in ("inc", "dec"):
+            dst = insn.operands[0]
+            if isinstance(dst, Register):
+                delta = 1 if mnemonic == "inc" else -1
+                state.write_register(dst, state.read_register(dst) + delta)
+        elif mnemonic == "call":
+            target = self._branch_target(insn)
+            rsp = state.read_register(RSP) - 8
+            state.write_register(RSP, rsp)
+            state.write_memory(rsp, insn.end, 8)
+            self.call_trace.append((insn.address, target))
+            next_rip = target
+        elif mnemonic == "ret":
+            rsp = state.read_register(RSP)
+            next_rip = state.read_memory(rsp, 8)
+            state.write_register(RSP, rsp + 8)
+            if self.call_trace:
+                self.call_trace.pop()
+        elif mnemonic == "leave":
+            rbp = state.read_register(RBP)
+            state.write_register(RSP, rbp)
+            state.write_register(RBP, state.read_memory(rbp, 8))
+            state.write_register(RSP, rbp + 8)
+        elif mnemonic == "jmp":
+            next_rip = self._branch_target(insn)
+        elif insn.is_conditional_jump:
+            if self._condition(mnemonic):
+                next_rip = self._branch_target(insn)
+        else:
+            raise EmulatorTrap(f"unsupported instruction {mnemonic}", state)
+
+        state.rip = next_rip
+
+    # ------------------------------------------------------------------
+    def _operand_value(self, insn: Instruction, operand) -> int:
+        if isinstance(operand, Mem) and not operand.rip_relative:
+            address = self._effective_address(insn, operand)
+            return self._read_data(address, 8)
+        if isinstance(operand, Mem) and operand.rip_relative:
+            return self._read_data(self._effective_address(insn, operand), 8)
+        return self._read_operand(insn, operand)
+
+    def _branch_target(self, insn: Instruction) -> int:
+        operand = insn.operands[0]
+        if isinstance(operand, Imm):
+            return operand.value & _MASK
+        if isinstance(operand, Register):
+            return self.state.read_register(operand)
+        return self._read_data(self._effective_address(insn, operand), 8)
+
+    def _arithmetic(self, insn: Instruction, mnemonic: str) -> None:
+        dst = insn.operands[0]
+        value = self._operand_value(insn, insn.operands[1])
+        if not isinstance(dst, Register):
+            current = self._read_data(self._effective_address(insn, dst), 8)
+        else:
+            current = self.state.read_register(dst)
+        if mnemonic == "add":
+            result = current + value
+        elif mnemonic == "sub":
+            result = current - value
+        elif mnemonic == "xor":
+            result = current ^ value
+        elif mnemonic == "and":
+            result = current & value
+        elif mnemonic == "or":
+            result = current | value
+        elif mnemonic == "imul":
+            result = current * value
+        elif mnemonic == "shl":
+            result = current << (value & 63)
+        elif mnemonic in ("sar", "shr"):
+            result = current >> (value & 63)
+        else:  # pragma: no cover - guarded by caller
+            raise EmulatorTrap(f"unsupported ALU op {mnemonic}", self.state)
+        result &= _MASK
+        self._zero_flag = result == 0
+        self._sign_flag = bool(result >> 63)
+        if isinstance(dst, Register):
+            self.state.write_register(dst, result)
+        else:
+            self.state.write_memory(self._effective_address(insn, dst), result, 8)
+
+    def _compare(self, insn: Instruction, mnemonic: str) -> None:
+        left = self._operand_value(insn, insn.operands[0])
+        right = self._operand_value(insn, insn.operands[1])
+        if mnemonic == "cmp":
+            result = (left - right) & _MASK
+            self._carry_flag = left < right
+        else:  # test
+            result = left & right
+            self._carry_flag = False
+        self._zero_flag = result == 0
+        self._sign_flag = bool(result >> 63)
+
+    def _condition(self, mnemonic: str) -> bool:
+        zero, sign, carry = self._zero_flag, self._sign_flag, self._carry_flag
+        table = {
+            "je": zero,
+            "jne": not zero,
+            "jl": sign,
+            "jge": not sign,
+            "jle": zero or sign,
+            "jg": not zero and not sign,
+            "jb": carry,
+            "jae": not carry,
+            "jbe": carry or zero,
+            "ja": not carry and not zero,
+            "js": sign,
+            "jns": not sign,
+            "jo": False,
+            "jno": True,
+            "jp": False,
+            "jnp": True,
+        }
+        return table.get(mnemonic, False)

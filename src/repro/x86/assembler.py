@@ -1,0 +1,334 @@
+"""x86-64 instruction encoder.
+
+The :class:`Assembler` produces raw machine-code bytes for the instruction
+subset used by the synthetic compiler (:mod:`repro.synth`).  All encodings are
+genuine x86-64 encodings (REX prefixes, ModRM/SIB, displacement and immediate
+widths), so the output can be decoded by any off-the-shelf disassembler as
+well as by :mod:`repro.x86.disassembler`.
+
+Relative branch targets are expressed as *relative displacements from the end
+of the instruction*, matching the hardware semantics; the layout engine in
+the synthetic compiler performs the target arithmetic.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.x86.operands import Mem
+from repro.x86.registers import Register
+
+_CC_NUMBERS = {
+    "o": 0x0,
+    "no": 0x1,
+    "b": 0x2,
+    "ae": 0x3,
+    "e": 0x4,
+    "ne": 0x5,
+    "be": 0x6,
+    "a": 0x7,
+    "s": 0x8,
+    "ns": 0x9,
+    "p": 0xA,
+    "np": 0xB,
+    "l": 0xC,
+    "ge": 0xD,
+    "le": 0xE,
+    "g": 0xF,
+}
+
+_NOP_SEQUENCES = {
+    1: b"\x90",
+    2: b"\x66\x90",
+    3: b"\x0f\x1f\x00",
+    4: b"\x0f\x1f\x40\x00",
+    5: b"\x0f\x1f\x44\x00\x00",
+    6: b"\x66\x0f\x1f\x44\x00\x00",
+    7: b"\x0f\x1f\x80\x00\x00\x00\x00",
+    8: b"\x0f\x1f\x84\x00\x00\x00\x00\x00",
+    9: b"\x66\x0f\x1f\x84\x00\x00\x00\x00\x00",
+}
+
+
+class EncodingError(ValueError):
+    """Raised when an operand combination cannot be encoded."""
+
+
+def _i8(value: int) -> bytes:
+    return struct.pack("<b", value)
+
+
+def _i32(value: int) -> bytes:
+    return struct.pack("<i", value)
+
+
+def _u32(value: int) -> bytes:
+    return struct.pack("<I", value & 0xFFFFFFFF)
+
+
+def _i64(value: int) -> bytes:
+    return struct.pack("<q", value)
+
+
+def _fits_i8(value: int) -> bool:
+    return -128 <= value <= 127
+
+
+def _fits_i32(value: int) -> bool:
+    return -(2**31) <= value < 2**31
+
+
+def _rex(w: int, r: int, x: int, b: int) -> int:
+    return 0x40 | (w << 3) | (r << 2) | (x << 1) | b
+
+
+def _encode_modrm(
+    reg_field: int,
+    rm: Register | Mem,
+    *,
+    rex_w: bool,
+    opcode: bytes,
+    extra_prefix: bytes = b"",
+    immediate: bytes = b"",
+) -> bytes:
+    """Encode ``prefix + REX + opcode + ModRM [+ SIB] [+ disp] [+ imm]``.
+
+    ``reg_field`` is either the /r register number or the /digit opcode
+    extension.  ``rm`` is the r/m operand (register or memory).
+    """
+    rex_r = (reg_field >> 3) & 1
+    reg_low = reg_field & 0b111
+
+    if isinstance(rm, Register):
+        rex_b = 1 if rm.needs_rex else 0
+        rex_x = 0
+        modrm = (0b11 << 6) | (reg_low << 3) | rm.low_bits
+        body = bytes([modrm])
+    else:
+        body, rex_x, rex_b = _encode_mem(reg_low, rm)
+
+    prefix = b""
+    if rex_w or rex_r or rex_x or rex_b:
+        prefix = bytes([_rex(1 if rex_w else 0, rex_r, rex_x, rex_b)])
+    return extra_prefix + prefix + opcode + body + immediate
+
+
+def _encode_mem(reg_low: int, mem: Mem) -> tuple[bytes, int, int]:
+    """Encode the ModRM/SIB/displacement bytes for a memory operand.
+
+    Returns ``(encoded_bytes, rex_x, rex_b)``.
+    """
+    if mem.rip_relative:
+        modrm = (0b00 << 6) | (reg_low << 3) | 0b101
+        return bytes([modrm]) + _i32(mem.disp), 0, 0
+
+    base, index, scale, disp = mem.base, mem.index, mem.scale, mem.disp
+    rex_x = 1 if (index is not None and index.needs_rex) else 0
+    rex_b = 1 if (base is not None and base.needs_rex) else 0
+
+    if index is not None and index.low_bits == 0b100 and not index.needs_rex:
+        raise EncodingError("rsp cannot be used as an index register")
+
+    needs_sib = index is not None or base is None or base.low_bits == 0b100
+
+    if base is None:
+        # Absolute or index-only addressing: SIB with base=101, mod=00, disp32.
+        sib_index = index.low_bits if index is not None else 0b100
+        sib = (_scale_bits(scale) << 6) | (sib_index << 3) | 0b101
+        modrm = (0b00 << 6) | (reg_low << 3) | 0b100
+        return bytes([modrm, sib]) + _i32(disp), rex_x, 0
+
+    # Choose the displacement width.  mod=00 with base rbp/r13 would mean
+    # "disp32 only", so those bases always carry at least a disp8.
+    if disp == 0 and base.low_bits != 0b101:
+        mod, disp_bytes = 0b00, b""
+    elif _fits_i8(disp):
+        mod, disp_bytes = 0b01, _i8(disp)
+    else:
+        mod, disp_bytes = 0b10, _i32(disp)
+
+    if needs_sib:
+        sib_index = index.low_bits if index is not None else 0b100
+        sib = (_scale_bits(scale) << 6) | (sib_index << 3) | base.low_bits
+        modrm = (mod << 6) | (reg_low << 3) | 0b100
+        return bytes([modrm, sib]) + disp_bytes, rex_x, rex_b
+
+    modrm = (mod << 6) | (reg_low << 3) | base.low_bits
+    return bytes([modrm]) + disp_bytes, rex_x, rex_b
+
+
+def _scale_bits(scale: int) -> int:
+    return {1: 0, 2: 1, 4: 2, 8: 3}[scale]
+
+
+class Assembler:
+    """Stateless encoder: every method returns the instruction's bytes."""
+
+    # ------------------------------------------------------------------
+    # Stack
+    # ------------------------------------------------------------------
+    def push(self, reg: Register) -> bytes:
+        prefix = b"\x41" if reg.needs_rex else b""
+        return prefix + bytes([0x50 + reg.low_bits])
+
+    def pop(self, reg: Register) -> bytes:
+        prefix = b"\x41" if reg.needs_rex else b""
+        return prefix + bytes([0x58 + reg.low_bits])
+
+    def leave(self) -> bytes:
+        return b"\xc9"
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+    def mov_ri(self, reg: Register, value: int) -> bytes:
+        """``mov reg64, imm`` — sign-extended imm32 when possible, else movabs."""
+        if _fits_i32(value):
+            return _encode_modrm(0, reg, rex_w=True, opcode=b"\xc7", immediate=_i32(value))
+        prefix = _rex(1, 0, 0, 1 if reg.needs_rex else 0)
+        return bytes([prefix, 0xB8 + reg.low_bits]) + _i64(value)
+
+    def mov_ri32(self, reg: Register, value: int) -> bytes:
+        """``mov reg32, imm32`` (zero-extends into the 64-bit register)."""
+        prefix = b"\x41" if reg.needs_rex else b""
+        return prefix + bytes([0xB8 + reg.low_bits]) + _u32(value)
+
+    def mov_rr(self, dst: Register, src: Register) -> bytes:
+        return _encode_modrm(src.number, dst, rex_w=True, opcode=b"\x89")
+
+    def mov_load(self, dst: Register, mem: Mem) -> bytes:
+        """``mov reg64, [mem]``."""
+        return _encode_modrm(dst.number, mem, rex_w=True, opcode=b"\x8b")
+
+    def mov_store(self, mem: Mem, src: Register) -> bytes:
+        """``mov [mem], reg64``."""
+        return _encode_modrm(src.number, mem, rex_w=True, opcode=b"\x89")
+
+    def lea(self, dst: Register, mem: Mem) -> bytes:
+        if not isinstance(mem, Mem):
+            raise EncodingError("lea requires a memory operand")
+        return _encode_modrm(dst.number, mem, rex_w=True, opcode=b"\x8d")
+
+    def movsxd(self, dst: Register, src: Register) -> bytes:
+        """``movsxd dst64, src32``."""
+        return _encode_modrm(dst.number, src, rex_w=True, opcode=b"\x63")
+
+    def movsxd_load(self, dst: Register, mem: Mem) -> bytes:
+        """``movsxd dst64, dword [mem]`` — typical jump-table entry load."""
+        return _encode_modrm(dst.number, mem, rex_w=True, opcode=b"\x63")
+
+    # ------------------------------------------------------------------
+    # Arithmetic / logic
+    # ------------------------------------------------------------------
+    def _group1_ri(self, ext: int, reg: Register, value: int) -> bytes:
+        if _fits_i8(value):
+            return _encode_modrm(ext, reg, rex_w=True, opcode=b"\x83", immediate=_i8(value))
+        if not _fits_i32(value):
+            raise EncodingError(f"immediate does not fit in 32 bits: {value:#x}")
+        return _encode_modrm(ext, reg, rex_w=True, opcode=b"\x81", immediate=_i32(value))
+
+    def add_ri(self, reg: Register, value: int) -> bytes:
+        return self._group1_ri(0, reg, value)
+
+    def or_ri(self, reg: Register, value: int) -> bytes:
+        return self._group1_ri(1, reg, value)
+
+    def and_ri(self, reg: Register, value: int) -> bytes:
+        return self._group1_ri(4, reg, value)
+
+    def sub_ri(self, reg: Register, value: int) -> bytes:
+        return self._group1_ri(5, reg, value)
+
+    def cmp_ri(self, reg: Register, value: int) -> bytes:
+        return self._group1_ri(7, reg, value)
+
+    def add_rr(self, dst: Register, src: Register) -> bytes:
+        return _encode_modrm(src.number, dst, rex_w=True, opcode=b"\x01")
+
+    def sub_rr(self, dst: Register, src: Register) -> bytes:
+        return _encode_modrm(src.number, dst, rex_w=True, opcode=b"\x29")
+
+    def xor_rr(self, dst: Register, src: Register) -> bytes:
+        return _encode_modrm(src.number, dst, rex_w=True, opcode=b"\x31")
+
+    def xor_rr32(self, dst: Register, src: Register) -> bytes:
+        """``xor dst32, src32`` — the canonical register-zeroing idiom."""
+        return _encode_modrm(src.number, dst, rex_w=False, opcode=b"\x31")
+
+    def cmp_rr(self, a: Register, b: Register) -> bytes:
+        return _encode_modrm(b.number, a, rex_w=True, opcode=b"\x39")
+
+    def test_rr(self, a: Register, b: Register) -> bytes:
+        return _encode_modrm(b.number, a, rex_w=True, opcode=b"\x85")
+
+    def imul_rr(self, dst: Register, src: Register) -> bytes:
+        return _encode_modrm(dst.number, src, rex_w=True, opcode=b"\x0f\xaf")
+
+    def shl_ri(self, reg: Register, amount: int) -> bytes:
+        return _encode_modrm(4, reg, rex_w=True, opcode=b"\xc1", immediate=_i8(amount))
+
+    def sar_ri(self, reg: Register, amount: int) -> bytes:
+        return _encode_modrm(7, reg, rex_w=True, opcode=b"\xc1", immediate=_i8(amount))
+
+    # ------------------------------------------------------------------
+    # Control transfer
+    # ------------------------------------------------------------------
+    def call_rel32(self, rel: int) -> bytes:
+        return b"\xe8" + _i32(rel)
+
+    def call_reg(self, reg: Register) -> bytes:
+        return _encode_modrm(2, reg, rex_w=False, opcode=b"\xff")
+
+    def call_mem(self, mem: Mem) -> bytes:
+        return _encode_modrm(2, mem, rex_w=False, opcode=b"\xff")
+
+    def jmp_rel32(self, rel: int) -> bytes:
+        return b"\xe9" + _i32(rel)
+
+    def jmp_rel8(self, rel: int) -> bytes:
+        return b"\xeb" + _i8(rel)
+
+    def jmp_reg(self, reg: Register) -> bytes:
+        return _encode_modrm(4, reg, rex_w=False, opcode=b"\xff")
+
+    def jmp_mem(self, mem: Mem) -> bytes:
+        return _encode_modrm(4, mem, rex_w=False, opcode=b"\xff")
+
+    def jcc_rel32(self, cc: str, rel: int) -> bytes:
+        return bytes([0x0F, 0x80 + _CC_NUMBERS[cc]]) + _i32(rel)
+
+    def jcc_rel8(self, cc: str, rel: int) -> bytes:
+        return bytes([0x70 + _CC_NUMBERS[cc]]) + _i8(rel)
+
+    def ret(self) -> bytes:
+        return b"\xc3"
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def nop(self, length: int = 1) -> bytes:
+        """A padding sequence of exactly ``length`` bytes of NOPs."""
+        if length <= 0:
+            return b""
+        out = b""
+        remaining = length
+        while remaining > 0:
+            chunk = min(remaining, 9)
+            out += _NOP_SEQUENCES[chunk]
+            remaining -= chunk
+        return out
+
+    def int3_padding(self, length: int) -> bytes:
+        return b"\xcc" * length
+
+    def endbr64(self) -> bytes:
+        return b"\xf3\x0f\x1e\xfa"
+
+    def syscall(self) -> bytes:
+        return b"\x0f\x05"
+
+    def ud2(self) -> bytes:
+        return b"\x0f\x0b"
+
+    def hlt(self) -> bytes:
+        return b"\xf4"

@@ -1,0 +1,383 @@
+"""x86-64 instruction decoder.
+
+The decoder understands the instruction subset produced by
+:class:`repro.x86.assembler.Assembler` plus the most common encodings found in
+compiler output, and fails loudly (:class:`DecodeError`) on anything else.
+That failure mode is load-bearing: the function-pointer validation of the
+FETCH pipeline (§IV-E of the paper) treats "invalid opcode" as evidence that a
+candidate pointer is not a function start.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.x86.instruction import CONDITION_CODES, Instruction
+from repro.x86.operands import Imm, Mem
+from repro.x86.registers import Register, register_by_number
+
+_MAX_INSTRUCTION_LENGTH = 15
+
+_GROUP1_MNEMONICS = {0: "add", 1: "or", 2: "adc", 3: "sbb", 4: "and", 5: "sub", 6: "xor", 7: "cmp"}
+_SHIFT_MNEMONICS = {0: "rol", 1: "ror", 2: "rcl", 3: "rcr", 4: "shl", 5: "shr", 7: "sar"}
+
+
+class DecodeError(ValueError):
+    """Raised when bytes cannot be decoded as a supported instruction."""
+
+    def __init__(self, message: str, address: int = 0):
+        super().__init__(f"{message} at {address:#x}")
+        self.address = address
+
+
+class _Cursor:
+    """A byte cursor over the code buffer with bounds checking."""
+
+    def __init__(self, code: bytes, offset: int, address: int):
+        self.code = code
+        self.start = offset
+        self.pos = offset
+        self.address = address
+
+    def u8(self) -> int:
+        if self.pos >= len(self.code):
+            raise DecodeError("truncated instruction", self.address)
+        value = self.code[self.pos]
+        self.pos += 1
+        return value
+
+    def peek(self) -> int | None:
+        if self.pos >= len(self.code):
+            return None
+        return self.code[self.pos]
+
+    def i8(self) -> int:
+        value = self.u8()
+        return value - 256 if value >= 128 else value
+
+    def u16(self) -> int:
+        return self.u8() | (self.u8() << 8)
+
+    def i32(self) -> int:
+        value = self.u8() | (self.u8() << 8) | (self.u8() << 16) | (self.u8() << 24)
+        return value - (1 << 32) if value >= (1 << 31) else value
+
+    def i64(self) -> int:
+        low = self.i32() & 0xFFFFFFFF
+        high = self.i32()
+        return (high << 32) | low
+
+    def consumed(self) -> int:
+        return self.pos - self.start
+
+    def data(self) -> bytes:
+        return self.code[self.start : self.pos]
+
+
+def _parse_modrm(cur: _Cursor, rex_r: int, rex_x: int, rex_b: int) -> tuple[int, Register | Mem]:
+    """Parse a ModRM byte (and SIB/displacement) into (reg_field, rm_operand)."""
+    modrm = cur.u8()
+    mod = modrm >> 6
+    reg = ((modrm >> 3) & 0b111) | (rex_r << 3)
+    rm = modrm & 0b111
+
+    if mod == 0b11:
+        return reg, register_by_number(rm | (rex_b << 3))
+
+    if rm == 0b101 and mod == 0b00:
+        disp = cur.i32()
+        return reg, Mem(rip_relative=True, disp=disp)
+
+    base: Register | None
+    index: Register | None = None
+    scale = 1
+
+    if rm == 0b100:
+        sib = cur.u8()
+        scale = 1 << (sib >> 6)
+        index_bits = ((sib >> 3) & 0b111) | (rex_x << 3)
+        base_bits = (sib & 0b111) | (rex_b << 3)
+        index = None if index_bits == 0b100 else register_by_number(index_bits)
+        if (sib & 0b111) == 0b101 and mod == 0b00:
+            base = None
+            disp = cur.i32()
+            return reg, Mem(base=base, index=index, scale=scale, disp=disp)
+        base = register_by_number(base_bits)
+    else:
+        base = register_by_number(rm | (rex_b << 3))
+
+    if mod == 0b00:
+        disp = 0
+    elif mod == 0b01:
+        disp = cur.i8()
+    else:
+        disp = cur.i32()
+    return reg, Mem(base=base, index=index, scale=scale, disp=disp)
+
+
+def decode_instruction(code: bytes, offset: int = 0, address: int = 0) -> Instruction:
+    """Decode a single instruction starting at ``code[offset]``.
+
+    ``address`` is the virtual address of the instruction and is used to
+    compute absolute targets of relative branches.
+
+    Raises:
+        DecodeError: for unsupported opcodes or truncated input.
+    """
+    cur = _Cursor(code, offset, address)
+
+    prefix_66 = False
+    prefix_f3 = False
+    rex = 0
+    while True:
+        byte = cur.peek()
+        if byte is None:
+            raise DecodeError("empty input", address)
+        if byte == 0x66:
+            prefix_66 = True
+            cur.u8()
+        elif byte in (0xF2, 0xF3):
+            prefix_f3 = byte == 0xF3
+            cur.u8()
+        elif 0x40 <= byte <= 0x4F:
+            rex = cur.u8()
+            break
+        else:
+            break
+        if cur.consumed() > 4:
+            raise DecodeError("too many prefixes", address)
+
+    rex_w = (rex >> 3) & 1
+    rex_r = (rex >> 2) & 1
+    rex_x = (rex >> 1) & 1
+    rex_b = rex & 1
+    osize = 8 if rex_w else 4
+
+    opcode = cur.u8()
+    instruction = _decode_opcode(
+        cur, opcode, rex_w, rex_r, rex_x, rex_b, osize, prefix_f3, prefix_66, address
+    )
+    if cur.consumed() > _MAX_INSTRUCTION_LENGTH:
+        raise DecodeError("instruction exceeds 15 bytes", address)
+    return instruction
+
+
+def _make(cur: _Cursor, mnemonic: str, operands: tuple = (), operand_size: int = 8) -> Instruction:
+    return Instruction(
+        mnemonic=mnemonic,
+        operands=operands,
+        address=cur.address,
+        data=cur.data(),
+        operand_size=operand_size,
+    )
+
+
+def _decode_opcode(
+    cur: _Cursor,
+    opcode: int,
+    rex_w: int,
+    rex_r: int,
+    rex_x: int,
+    rex_b: int,
+    osize: int,
+    prefix_f3: bool,
+    prefix_66: bool,
+    address: int,
+) -> Instruction:
+    parse = lambda: _parse_modrm(cur, rex_r, rex_x, rex_b)  # noqa: E731
+
+    # -- stack push/pop ------------------------------------------------
+    if 0x50 <= opcode <= 0x57:
+        reg = register_by_number((opcode - 0x50) | (rex_b << 3))
+        return _make(cur, "push", (reg,))
+    if 0x58 <= opcode <= 0x5F:
+        reg = register_by_number((opcode - 0x58) | (rex_b << 3))
+        return _make(cur, "pop", (reg,))
+    if opcode == 0x68:
+        return _make(cur, "push", (Imm(cur.i32(), 4),))
+    if opcode == 0x6A:
+        return _make(cur, "push", (Imm(cur.i8(), 1),))
+
+    # -- ALU r/m, r and r, r/m ------------------------------------------
+    alu_store = {0x01: "add", 0x09: "or", 0x21: "and", 0x29: "sub", 0x31: "xor", 0x39: "cmp", 0x85: "test", 0x89: "mov"}
+    if opcode in alu_store:
+        reg_field, rm = parse()
+        src = register_by_number(reg_field)
+        return _make(cur, alu_store[opcode], (rm, src), osize)
+    alu_load = {0x03: "add", 0x2B: "sub", 0x33: "xor", 0x3B: "cmp", 0x8B: "mov"}
+    if opcode in alu_load:
+        reg_field, rm = parse()
+        dst = register_by_number(reg_field)
+        return _make(cur, alu_load[opcode], (dst, rm), osize)
+
+    if opcode == 0x8D:
+        reg_field, rm = parse()
+        if isinstance(rm, Register):
+            raise DecodeError("lea with register operand", address)
+        return _make(cur, "lea", (register_by_number(reg_field), rm), osize)
+
+    if opcode == 0x63:
+        reg_field, rm = parse()
+        return _make(cur, "movsxd", (register_by_number(reg_field), rm), osize)
+
+    # -- group 1: add/or/../cmp r/m, imm --------------------------------
+    if opcode in (0x81, 0x83):
+        reg_field, rm = parse()
+        ext = reg_field & 0b111
+        imm = Imm(cur.i8(), 1) if opcode == 0x83 else Imm(cur.i32(), 4)
+        return _make(cur, _GROUP1_MNEMONICS[ext], (rm, imm), osize)
+
+    # -- mov immediate ---------------------------------------------------
+    if 0xB8 <= opcode <= 0xBF:
+        reg = register_by_number((opcode - 0xB8) | (rex_b << 3))
+        if rex_w:
+            return _make(cur, "mov", (reg, Imm(cur.i64(), 8)), 8)
+        return _make(cur, "mov", (reg, Imm(cur.i32(), 4)), 4)
+    if opcode == 0xC7:
+        reg_field, rm = parse()
+        if (reg_field & 0b111) != 0:
+            raise DecodeError("unsupported C7 extension", address)
+        return _make(cur, "mov", (rm, Imm(cur.i32(), 4)), osize)
+    if opcode == 0xC6:
+        reg_field, rm = parse()
+        if (reg_field & 0b111) != 0:
+            raise DecodeError("unsupported C6 extension", address)
+        return _make(cur, "mov", (rm, Imm(cur.i8(), 1)), 1)
+
+    # -- shifts ----------------------------------------------------------
+    if opcode == 0xC1:
+        reg_field, rm = parse()
+        ext = reg_field & 0b111
+        mnemonic = _SHIFT_MNEMONICS.get(ext)
+        if mnemonic is None:
+            raise DecodeError("unsupported shift extension", address)
+        return _make(cur, mnemonic, (rm, Imm(cur.i8(), 1)), osize)
+
+    # -- control transfer ------------------------------------------------
+    if opcode == 0xE8:
+        rel = cur.i32()
+        return _make(cur, "call", (Imm(address + cur.consumed() + rel, 8),))
+    if opcode == 0xE9:
+        rel = cur.i32()
+        return _make(cur, "jmp", (Imm(address + cur.consumed() + rel, 8),))
+    if opcode == 0xEB:
+        rel = cur.i8()
+        return _make(cur, "jmp", (Imm(address + cur.consumed() + rel, 8),))
+    if 0x70 <= opcode <= 0x7F:
+        rel = cur.i8()
+        mnemonic = CONDITION_CODES[opcode - 0x70]
+        return _make(cur, mnemonic, (Imm(address + cur.consumed() + rel, 8),))
+    if opcode == 0xC3:
+        return _make(cur, "ret")
+    if opcode == 0xC2:
+        return _make(cur, "ret", (Imm(cur.u16(), 2),))
+    if opcode == 0xFF:
+        reg_field, rm = parse()
+        ext = reg_field & 0b111
+        if ext == 0:
+            return _make(cur, "inc", (rm,), osize)
+        if ext == 1:
+            return _make(cur, "dec", (rm,), osize)
+        if ext == 2:
+            return _make(cur, "call", (rm,))
+        if ext == 4:
+            return _make(cur, "jmp", (rm,))
+        if ext == 6:
+            return _make(cur, "push", (rm,))
+        raise DecodeError("unsupported FF extension", address)
+
+    # -- misc single byte --------------------------------------------------
+    if opcode == 0x90:
+        return _make(cur, "nop")
+    if opcode == 0xC9:
+        return _make(cur, "leave")
+    if opcode == 0xCC:
+        return _make(cur, "int3")
+    if opcode == 0xF4:
+        return _make(cur, "hlt")
+
+    # -- two byte opcodes ---------------------------------------------------
+    if opcode == 0x0F:
+        return _decode_two_byte(cur, rex_r, rex_x, rex_b, osize, prefix_f3, address)
+
+    raise DecodeError(f"unsupported opcode {opcode:#04x}", address)
+
+
+def _decode_two_byte(
+    cur: _Cursor,
+    rex_r: int,
+    rex_x: int,
+    rex_b: int,
+    osize: int,
+    prefix_f3: bool,
+    address: int,
+) -> Instruction:
+    parse = lambda: _parse_modrm(cur, rex_r, rex_x, rex_b)  # noqa: E731
+    opcode2 = cur.u8()
+
+    if opcode2 == 0x05:
+        return _make(cur, "syscall")
+    if opcode2 == 0x0B:
+        return _make(cur, "ud2")
+    if opcode2 == 0x1E and prefix_f3:
+        modrm = cur.u8()
+        if modrm == 0xFA:
+            return _make(cur, "endbr64")
+        if modrm == 0xFB:
+            return _make(cur, "endbr32")
+        raise DecodeError("unsupported F3 0F 1E form", address)
+    if opcode2 == 0x1F:
+        parse()
+        return _make(cur, "nop")
+    if 0x80 <= opcode2 <= 0x8F:
+        rel = cur.i32()
+        mnemonic = CONDITION_CODES[opcode2 - 0x80]
+        return _make(cur, mnemonic, (Imm(address + cur.consumed() + rel, 8),))
+    if opcode2 == 0xAF:
+        reg_field, rm = parse()
+        return _make(cur, "imul", (register_by_number(reg_field), rm), osize)
+    if opcode2 in (0xB6, 0xB7):
+        reg_field, rm = parse()
+        return _make(cur, "movzx", (register_by_number(reg_field), rm), osize)
+    if opcode2 in (0xBE, 0xBF):
+        reg_field, rm = parse()
+        return _make(cur, "movsx", (register_by_number(reg_field), rm), osize)
+
+    raise DecodeError(f"unsupported opcode 0f {opcode2:#04x}", address)
+
+
+def decode_range(
+    code: bytes,
+    address: int,
+    start: int = 0,
+    end: int | None = None,
+    *,
+    stop_on_error: bool = True,
+) -> Iterator[Instruction]:
+    """Linearly decode instructions from ``code[start:end]``.
+
+    ``address`` is the virtual address of ``code[0]``.  With
+    ``stop_on_error=False`` an undecodable byte is emitted as a one-byte
+    ``(bad)`` instruction and decoding continues at the next byte, which is
+    the behaviour linear-sweep style baselines rely on.
+    """
+    limit = len(code) if end is None else min(end, len(code))
+    pos = start
+    while pos < limit:
+        try:
+            insn = decode_instruction(code, pos, address + pos)
+        except DecodeError:
+            if stop_on_error:
+                return
+            insn = Instruction(
+                mnemonic="(bad)", operands=(), address=address + pos, data=code[pos : pos + 1]
+            )
+        if insn.end - address > limit:
+            # Instruction spills past the requested window.
+            if stop_on_error:
+                return
+            insn = Instruction(
+                mnemonic="(bad)", operands=(), address=address + pos, data=code[pos : pos + 1]
+            )
+        yield insn
+        pos = insn.end - address

@@ -1,0 +1,166 @@
+"""Decoded / assembled instruction model.
+
+An :class:`Instruction` is a plain value object: mnemonic, operands, the
+address it was decoded at (or will be placed at) and its raw encoding.  The
+classification helpers (``is_call``, ``is_conditional_jump`` ...) are the
+vocabulary used throughout the analysis and detection layers, so they live
+here rather than in the semantics module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.x86.operands import Imm, Mem
+from repro.x86.registers import Register
+
+#: Conditional jump mnemonics, keyed by condition-code nibble.
+CONDITION_CODES = {
+    0x0: "jo",
+    0x1: "jno",
+    0x2: "jb",
+    0x3: "jae",
+    0x4: "je",
+    0x5: "jne",
+    0x6: "jbe",
+    0x7: "ja",
+    0x8: "js",
+    0x9: "jns",
+    0xA: "jp",
+    0xB: "jnp",
+    0xC: "jl",
+    0xD: "jge",
+    0xE: "jle",
+    0xF: "jg",
+}
+
+CONDITIONAL_JUMPS = frozenset(CONDITION_CODES.values())
+
+#: Mnemonics that never fall through to the next instruction.
+_NO_FALLTHROUGH = frozenset({"jmp", "ret", "ud2", "hlt"})
+
+#: Mnemonics treated as padding / alignment filler by compilers.
+PADDING_MNEMONICS = frozenset({"nop", "int3"})
+
+Operand = Register | Imm | Mem
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single decoded or assembled x86-64 instruction."""
+
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    address: int = 0
+    data: bytes = b""
+    operand_size: int = 8
+    comment: str = field(default="", compare=False)
+
+    @property
+    def size(self) -> int:
+        """Encoded length in bytes."""
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        """Address of the byte following this instruction."""
+        return self.address + self.size
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def is_call(self) -> bool:
+        return self.mnemonic == "call"
+
+    @property
+    def is_ret(self) -> bool:
+        return self.mnemonic == "ret"
+
+    @property
+    def is_unconditional_jump(self) -> bool:
+        return self.mnemonic == "jmp"
+
+    @property
+    def is_conditional_jump(self) -> bool:
+        return self.mnemonic in CONDITIONAL_JUMPS
+
+    @property
+    def is_jump(self) -> bool:
+        """Any jump (conditional or unconditional), excluding calls."""
+        return self.is_unconditional_jump or self.is_conditional_jump
+
+    @property
+    def is_branch(self) -> bool:
+        """Any control transfer: jumps, calls and returns."""
+        return self.is_jump or self.is_call or self.is_ret
+
+    @property
+    def is_direct_branch(self) -> bool:
+        """A call/jump whose target is an immediate operand."""
+        if not (self.is_call or self.is_jump):
+            return False
+        return bool(self.operands) and isinstance(self.operands[0], Imm)
+
+    @property
+    def is_indirect_branch(self) -> bool:
+        """A call/jump through a register or memory operand."""
+        if not (self.is_call or self.is_jump):
+            return False
+        return bool(self.operands) and not isinstance(self.operands[0], Imm)
+
+    @property
+    def is_nop(self) -> bool:
+        return self.mnemonic == "nop" or self.mnemonic == "endbr64"
+
+    @property
+    def is_padding(self) -> bool:
+        """Whether compilers use this instruction as inter-function filler."""
+        return self.mnemonic in PADDING_MNEMONICS
+
+    @property
+    def is_terminator(self) -> bool:
+        """Whether execution never falls through to the next instruction."""
+        return self.mnemonic in _NO_FALLTHROUGH
+
+    @property
+    def is_invalid(self) -> bool:
+        return self.mnemonic == "(bad)"
+
+    # ------------------------------------------------------------------
+    # Targets
+    # ------------------------------------------------------------------
+    @property
+    def branch_target(self) -> int | None:
+        """Absolute target of a direct call/jump, else ``None``."""
+        if self.is_direct_branch:
+            imm = self.operands[0]
+            assert isinstance(imm, Imm)
+            return imm.value
+        return None
+
+    @property
+    def memory_operand(self) -> Mem | None:
+        """The memory operand of this instruction, if any."""
+        for op in self.operands:
+            if isinstance(op, Mem):
+                return op
+        return None
+
+    @property
+    def rip_target(self) -> int | None:
+        """Absolute address referenced through a RIP-relative operand."""
+        mem = self.memory_operand
+        if mem is not None and mem.rip_relative:
+            return mem.absolute_target(self.end)
+        return None
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        ops = ", ".join(str(op) for op in self.operands)
+        text = f"{self.address:#x}: {self.mnemonic}"
+        if ops:
+            text += f" {ops}"
+        return text

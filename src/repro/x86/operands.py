@@ -1,0 +1,83 @@
+"""Operand model for x86-64 instructions.
+
+Three operand kinds exist in the subset we model: registers (the
+:class:`~repro.x86.registers.Register` objects themselves), immediates
+(:class:`Imm`) and memory references (:class:`Mem`).  Memory references cover
+the general ``[base + index*scale + disp]`` addressing form plus
+RIP-relative addressing, which is enough for every pattern compilers emit for
+data access, jump tables and PLT-style indirect transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.x86.registers import Register
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand.
+
+    Attributes:
+        value: the (signed) immediate value.
+        size: encoded width in bytes (1, 4 or 8).
+    """
+
+    value: int
+    size: int = 4
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return hex(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[base + index*scale + disp]`` or ``[rip + disp]``.
+
+    Attributes:
+        base: base register, or ``None`` for absolute / index-only forms.
+        index: index register, or ``None``.
+        scale: index scale factor (1, 2, 4 or 8).
+        disp: signed displacement.
+        rip_relative: whether the operand is RIP-relative (``[rip + disp]``).
+        size: access size in bytes (used for display only).
+    """
+
+    base: Register | None = None
+    index: Register | None = None
+    scale: int = 1
+    disp: int = 0
+    rip_relative: bool = False
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid SIB scale: {self.scale}")
+        if self.rip_relative and (self.base is not None or self.index is not None):
+            raise ValueError("RIP-relative operands cannot have base/index registers")
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        parts: list[str] = []
+        if self.rip_relative:
+            parts.append("rip")
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            parts.append(f"{self.index.name}*{self.scale}")
+        if self.disp or not parts:
+            parts.append(hex(self.disp))
+        return "[" + "+".join(parts) + "]"
+
+    def absolute_target(self, instruction_end: int) -> int | None:
+        """The absolute address referenced, if statically known.
+
+        For RIP-relative operands the target is ``end-of-instruction + disp``.
+        For absolute (no-register) operands it is the displacement itself.
+        Returns ``None`` when the address depends on register values.
+        """
+        if self.rip_relative:
+            return instruction_end + self.disp
+        if self.base is None and self.index is None:
+            return self.disp
+        return None

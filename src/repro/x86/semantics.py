@@ -1,0 +1,160 @@
+"""Instruction-level semantic helpers.
+
+These helpers answer the three questions the analysis layers need:
+
+* how an instruction changes the stack pointer (:func:`stack_delta`),
+* which registers it reads before writing (:func:`registers_read`),
+* which registers it writes (:func:`registers_written`).
+
+The modelling is deliberately conservative: anything the model cannot express
+precisely is reported as *unknown* (``None`` for stack deltas) rather than
+guessed, which is what the "safe" analyses of the paper require.
+"""
+
+from __future__ import annotations
+
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Imm, Mem
+from repro.x86.registers import (
+    CALLER_SAVED_REGISTERS,
+    RAX,
+    RBP,
+    RCX,
+    RSP,
+    R11,
+    Register,
+)
+
+_WRITES_FIRST_OPERAND = frozenset(
+    {"mov", "lea", "movsxd", "movzx", "movsx", "add", "sub", "and", "or", "xor", "adc", "sbb",
+     "imul", "shl", "shr", "sar", "rol", "ror", "rcl", "rcr", "inc", "dec", "pop"}
+)
+_READS_FIRST_OPERAND = frozenset(
+    {"add", "sub", "and", "or", "xor", "adc", "sbb", "imul", "shl", "shr", "sar", "rol", "ror",
+     "rcl", "rcr", "cmp", "test", "inc", "dec", "push"}
+)
+_COMPARE_ONLY = frozenset({"cmp", "test"})
+
+
+def _operand_registers(operand: Register | Imm | Mem) -> set[Register]:
+    """Registers referenced by an operand's addressing computation."""
+    if isinstance(operand, Register):
+        return {operand}
+    if isinstance(operand, Mem):
+        regs: set[Register] = set()
+        if operand.base is not None:
+            regs.add(operand.base)
+        if operand.index is not None:
+            regs.add(operand.index)
+        return regs
+    return set()
+
+
+def stack_delta(insn: Instruction) -> int | None:
+    """The change applied to ``rsp`` by this instruction, in bytes.
+
+    Returns ``None`` when the effect is unknown or data-dependent (``leave``,
+    ``mov rsp, ...``, ``and rsp, ...`` and similar), which callers must treat
+    as "stack height no longer tracked".
+    """
+    mnemonic = insn.mnemonic
+    if mnemonic == "push":
+        return -8
+    if mnemonic == "pop":
+        return 8
+    if mnemonic == "ret":
+        return 8
+    if mnemonic == "call":
+        return 0
+    if mnemonic == "leave":
+        return None
+    if mnemonic in ("add", "sub") and insn.operands:
+        dst = insn.operands[0]
+        if isinstance(dst, Register) and dst == RSP:
+            imm = insn.operands[1] if len(insn.operands) > 1 else None
+            if isinstance(imm, Imm):
+                return imm.value if mnemonic == "add" else -imm.value
+            return None
+        return 0
+    # Any other instruction that writes rsp makes the height unknown.
+    if RSP in registers_written(insn):
+        return None
+    return 0
+
+
+def registers_written(insn: Instruction) -> set[Register]:
+    """Registers whose value is (potentially) overwritten by ``insn``."""
+    written: set[Register] = set()
+    mnemonic = insn.mnemonic
+
+    if mnemonic in ("push", "pop", "call", "ret", "leave"):
+        written.add(RSP)
+    if mnemonic == "pop" and insn.operands and isinstance(insn.operands[0], Register):
+        written.add(insn.operands[0])
+    if mnemonic == "leave":
+        written.add(RBP)
+    if mnemonic == "call":
+        written.update(CALLER_SAVED_REGISTERS)
+    if mnemonic == "syscall":
+        written.update({RAX, RCX, R11})
+
+    if mnemonic in _WRITES_FIRST_OPERAND and mnemonic not in _COMPARE_ONLY and insn.operands:
+        dst = insn.operands[0]
+        if isinstance(dst, Register):
+            written.add(dst)
+    return written
+
+
+def registers_read(insn: Instruction) -> set[Register]:
+    """Registers whose previous value influences the behaviour of ``insn``.
+
+    The register-zeroing idiom ``xor reg, reg`` is treated as reading nothing,
+    matching how calling-convention validation must see it (it *defines* the
+    register).
+    """
+    mnemonic = insn.mnemonic
+    read: set[Register] = set()
+
+    if mnemonic in ("push", "pop", "call", "ret", "leave"):
+        read.add(RSP)
+    if mnemonic == "leave":
+        read.add(RBP)
+
+    operands = insn.operands
+    if mnemonic == "xor" and len(operands) == 2 and operands[0] == operands[1] and isinstance(
+        operands[0], Register
+    ):
+        return read
+
+    for position, operand in enumerate(operands):
+        if isinstance(operand, Mem):
+            read.update(_operand_registers(operand))
+            continue
+        if not isinstance(operand, Register):
+            continue
+        if position == 0:
+            if mnemonic in _READS_FIRST_OPERAND or mnemonic in _COMPARE_ONLY:
+                read.add(operand)
+            elif mnemonic in ("call", "jmp"):
+                read.add(operand)
+        else:
+            read.add(operand)
+    return read
+
+
+def clobbers_register(insn: Instruction, reg: Register) -> bool:
+    """Whether ``insn`` overwrites ``reg`` without depending on its old value."""
+    return reg in registers_written(insn) and reg not in registers_read(insn)
+
+
+def moves_immediate_to(insn: Instruction, reg: Register) -> int | None:
+    """If ``insn`` is ``mov reg, imm`` (or ``xor reg, reg``), the value loaded."""
+    if insn.mnemonic == "mov" and len(insn.operands) == 2:
+        dst, src = insn.operands
+        if isinstance(dst, Register) and dst == reg and isinstance(src, Imm):
+            return src.value
+    if insn.mnemonic == "xor" and len(insn.operands) == 2:
+        dst, src = insn.operands
+        if dst == reg and src == reg:
+            return 0
+    return None

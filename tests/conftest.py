@@ -1,0 +1,59 @@
+"""Shared fixtures: compiled synthetic binaries reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import build_selfbuilt_corpus, compile_program, plan_program
+from repro.synth.profiles import CompilerFamily, OptLevel, default_profile
+from repro.synth.workloads import WorkloadTraits
+
+
+@pytest.fixture(scope="session")
+def gcc_o2_profile():
+    return default_profile(CompilerFamily.GCC, OptLevel.O2)
+
+
+@pytest.fixture(scope="session")
+def rich_binary():
+    """A binary exhibiting every interesting construct (cold splits, asm,
+    jump tables, indirect-only functions, tail calls)."""
+    profile = default_profile(CompilerFamily.GCC, OptLevel.O3)
+    traits = WorkloadTraits(
+        cold_split_multiplier=3.0, has_assembly=True, is_cpp=True, mean_functions=110
+    )
+    plan = plan_program("fixture-rich", profile, seed=1234, traits=traits)
+    return compile_program(plan, keep_elf_bytes=True)
+
+
+@pytest.fixture(scope="session")
+def plain_binary():
+    """A small, plain C-style binary without assembly or cold splitting."""
+    profile = default_profile(CompilerFamily.GCC, OptLevel.O2)
+    traits = WorkloadTraits(cold_split_multiplier=0.0, mean_functions=40)
+    plan = plan_program("fixture-plain", profile, seed=99, traits=traits)
+    return compile_program(plan, keep_elf_bytes=True)
+
+
+@pytest.fixture(scope="session")
+def clang_binary():
+    """A clang-profile C++ binary (int3 padding, __clang_call_terminate)."""
+    profile = default_profile(CompilerFamily.CLANG, OptLevel.OFAST)
+    traits = WorkloadTraits(cold_split_multiplier=2.0, is_cpp=True, mean_functions=70)
+    plan = plan_program("fixture-clang", profile, seed=77, traits=traits)
+    return compile_program(plan, keep_elf_bytes=True)
+
+
+@pytest.fixture(scope="session")
+def stripped_binary():
+    """A stripped binary (no symbol table), like the paper's wild dataset."""
+    profile = default_profile(CompilerFamily.GCC, OptLevel.O2)
+    traits = WorkloadTraits(cold_split_multiplier=1.0, mean_functions=50)
+    plan = plan_program("fixture-stripped", profile, seed=5, traits=traits, stripped=True)
+    return compile_program(plan, keep_elf_bytes=True)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small self-built-style corpus for integration and eval tests."""
+    return build_selfbuilt_corpus(scale=0.3, max_binaries=8, seed=7)

@@ -1,0 +1,79 @@
+"""Tests for the fetch-detect command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def elf_path(tmp_path, rich_binary):
+    path = tmp_path / "input.elf"
+    path.write_bytes(rich_binary.elf_bytes)
+    return str(path)
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["binary.elf"])
+    assert args.binary == "binary.elf"
+    assert not args.no_recursion and not args.no_tailcall
+
+
+def test_cli_prints_detected_starts(elf_path, rich_binary, capsys):
+    assert main([elf_path]) == 0
+    output = capsys.readouterr().out
+    lines = [line for line in output.splitlines() if line and not line.startswith("#")]
+    detected = {int(line.split()[0], 16) for line in lines}
+    truth = rich_binary.ground_truth.function_starts
+    assert len(detected & truth) / len(truth) > 0.97
+
+
+def test_cli_reports_merged_parts(elf_path, capsys):
+    assert main([elf_path]) == 0
+    output = capsys.readouterr().out
+    assert "merged" in output
+
+
+def test_cli_fde_only_mode(elf_path, rich_binary, capsys):
+    assert main([elf_path, "--no-recursion"]) == 0
+    output = capsys.readouterr().out
+    lines = [line for line in output.splitlines() if line and not line.startswith("#")]
+    assert len(lines) == len(rich_binary.image.fdes) - (
+        1 if any(f.bad_fde_offset for f in rich_binary.ground_truth.functions) else 0
+    ) or len(lines) <= len(rich_binary.image.fdes)
+
+
+def test_cli_stage_attribution(elf_path, capsys):
+    assert main([elf_path, "--stages"]) == 0
+    output = capsys.readouterr().out
+    assert "\tfde" in output
+
+
+def test_cli_symbol_comparison(elf_path, capsys):
+    assert main([elf_path, "--compare-symbols"]) == 0
+    output = capsys.readouterr().out
+    assert "symbols:" in output
+
+
+def test_cli_missing_file_returns_error(capsys):
+    assert main(["/nonexistent/path.elf"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_rejects_non_elf_input(tmp_path, capsys):
+    path = tmp_path / "not_elf.bin"
+    path.write_bytes(b"definitely not an ELF file")
+    assert main([str(path)]) == 1
+
+
+def test_cli_warns_without_eh_frame(tmp_path, capsys):
+    from repro.elf import ElfFile, Section, write_elf
+    from repro.elf import constants as C
+
+    text = Section(
+        name=".text", data=b"\xc3" + b"\x90" * 15, address=0x401000,
+        flags=C.SHF_ALLOC | C.SHF_EXECINSTR,
+    )
+    path = tmp_path / "noeh.elf"
+    path.write_bytes(write_elf(ElfFile(sections=[text], entry_point=0x401000)))
+    assert main([str(path)]) == 0
+    assert "no .eh_frame" in capsys.readouterr().err

@@ -1,0 +1,153 @@
+"""Tests for CFI evaluation into per-PC rows and stack heights."""
+
+from repro.dwarf import cfi
+from repro.dwarf import constants as C
+from repro.dwarf.cfa_table import build_cfa_table
+from repro.dwarf.encoder import EhFrameBuilder
+from repro.dwarf.parser import parse_eh_frame
+
+SECTION = 0x500000
+FUNC = 0x4010B0
+
+
+def make_fde(instructions, pc_range=0x56, initial=None):
+    builder = EhFrameBuilder()
+    handle = builder.add_cie(initial_instructions=initial)
+    builder.add_fde(handle, FUNC, pc_range, instructions)
+    data = builder.build(SECTION)
+    _, fdes = parse_eh_frame(data, SECTION)
+    return fdes[0]
+
+
+def figure4_fde():
+    """The FDE of the paper's Figure 4 (push rbp / push rbx / sub rsp, 8)."""
+    return make_fde(
+        [
+            cfi.advance_loc(1), cfi.def_cfa_offset(16), cfi.offset(6, -16),
+            cfi.advance_loc(12), cfi.def_cfa_offset(24), cfi.offset(3, -24),
+            cfi.advance_loc(11), cfi.def_cfa_offset(32),
+            cfi.advance_loc(29), cfi.def_cfa_offset(24),
+            cfi.advance_loc(1), cfi.def_cfa_offset(16),
+            cfi.advance_loc(1), cfi.def_cfa_offset(8),
+        ]
+    )
+
+
+def test_figure4_rows_and_heights():
+    table = build_cfa_table(figure4_fde())
+    # Entry: CFA = rsp + 8, stack height 0.
+    assert table.stack_height_at(FUNC) == 0
+    # After push rbp (offset 1): CFA = rsp + 16.
+    assert table.stack_height_at(FUNC + 1) == 8
+    # After push rbx (offset 13): CFA = rsp + 24.
+    assert table.stack_height_at(FUNC + 0x0D) == 16
+    # After sub rsp, 8 (offset 24): CFA = rsp + 32.
+    assert table.stack_height_at(FUNC + 0x18) == 24
+    # After the epilogue the height is back to 0 at the ret.
+    assert table.stack_height_at(FUNC + 0x37) == 0
+    assert table.has_complete_stack_height
+
+
+def test_register_save_slots_follow_figure4():
+    table = build_cfa_table(figure4_fde())
+    saved = table.saved_registers_at(FUNC + 0x20)
+    assert saved[C.DWARF_REG_RA] == -8
+    assert saved[6] == -16  # rbp at CFA-16
+    assert saved[3] == -24  # rbx at CFA-24
+
+
+def test_rows_are_contiguous_and_cover_the_range():
+    table = build_cfa_table(figure4_fde())
+    rows = table.rows
+    assert rows[0].start == FUNC
+    assert rows[-1].end == FUNC + 0x56
+    for previous, current in zip(rows, rows[1:]):
+        assert previous.end == current.start
+
+
+def test_outside_addresses_have_no_row():
+    table = build_cfa_table(figure4_fde())
+    assert table.row_at(FUNC - 1) is None
+    assert table.row_at(FUNC + 0x56) is None
+    assert table.stack_height_at(FUNC - 1) is None
+
+
+def test_frame_pointer_functions_are_incomplete():
+    fde = make_fde(
+        [
+            cfi.advance_loc(1), cfi.def_cfa_offset(16), cfi.offset(6, -16),
+            cfi.advance_loc(3), cfi.def_cfa_register(C.DWARF_REG_RBP),
+        ]
+    )
+    table = build_cfa_table(fde)
+    assert not table.has_complete_stack_height
+    assert table.stack_height_at(FUNC) == 0
+    assert table.stack_height_at(FUNC + 5) is None
+
+
+def test_expression_based_cfa_is_incomplete():
+    fde = make_fde([cfi.def_cfa_expression(b"\x77\x08")])
+    table = build_cfa_table(fde)
+    assert table.uses_expression
+    assert not table.has_complete_stack_height
+
+
+def test_cold_part_initial_offset_is_not_canonical():
+    # A cold-part FDE starts at the parent's current stack depth, so its
+    # first row is rsp+K with K != 8 and the completeness check fails.
+    fde = make_fde([cfi.def_cfa_offset(40)])
+    table = build_cfa_table(fde)
+    assert table.stack_height_at(FUNC) == 32
+    assert not table.has_complete_stack_height
+
+
+def test_remember_restore_state():
+    fde = make_fde(
+        [
+            cfi.advance_loc(4), cfi.def_cfa_offset(24),
+            cfi.remember_state(),
+            cfi.advance_loc(4), cfi.def_cfa_offset(48),
+            cfi.advance_loc(4), cfi.restore_state(),
+            cfi.advance_loc(4), cfi.def_cfa_offset(8),
+        ]
+    )
+    table = build_cfa_table(fde)
+    assert table.stack_height_at(FUNC + 5) == 16
+    assert table.stack_height_at(FUNC + 9) == 40
+    # restore_state brings back the remembered 24-byte CFA offset.
+    assert table.stack_height_at(FUNC + 13) == 16
+
+
+def test_restore_register_rule():
+    fde = make_fde(
+        [
+            cfi.advance_loc(2), cfi.offset(3, -24),
+            cfi.advance_loc(2), cfi.restore(3),
+        ]
+    )
+    table = build_cfa_table(fde)
+    assert 3 in table.saved_registers_at(FUNC + 2)
+    assert 3 not in table.saved_registers_at(FUNC + 5)
+
+
+def test_synthetic_binary_cfa_tables_match_generated_frames(rich_binary):
+    """Every rsp-framed generated function has complete stack-height CFI and
+    every rbp-framed one does not."""
+    image = rich_binary.image
+    checked = 0
+    for info in rich_binary.ground_truth.functions:
+        if not info.has_fde or info.bad_fde_offset:
+            continue
+        fde = image.fde_covering(info.address)
+        if fde is None or fde.pc_begin != info.address:
+            continue
+        table = build_cfa_table(fde)
+        if info.kind in ("thunk", "terminate"):
+            continue
+        if info.frame == "rsp":
+            assert table.has_complete_stack_height, info.name
+            assert table.stack_height_at(info.address) == 0
+        else:
+            assert not table.has_complete_stack_height, info.name
+        checked += 1
+    assert checked > 20

@@ -1,0 +1,103 @@
+"""Tests for CFI instruction encoding/decoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dwarf import cfi
+from repro.dwarf import constants as C
+from repro.dwarf.cfi import decode_cfi_program, encode_cfi_program
+
+
+def roundtrip(instructions, **kwargs):
+    return decode_cfi_program(encode_cfi_program(instructions, **kwargs), **kwargs)
+
+
+def test_def_cfa_roundtrip():
+    program = [cfi.def_cfa(C.DWARF_REG_RSP, 8)]
+    assert roundtrip(program) == program
+
+
+def test_offset_uses_data_alignment_factoring():
+    program = [cfi.offset(C.DWARF_REG_RBP, -16)]
+    encoded = encode_cfi_program(program)
+    # Primary opcode DW_CFA_offset | reg, factored offset 2 (= -16 / -8).
+    assert encoded[0] == C.DW_CFA_offset | C.DWARF_REG_RBP
+    assert encoded[1] == 2
+    assert roundtrip(program) == program
+
+
+def test_advance_loc_width_selection():
+    small = encode_cfi_program([cfi.advance_loc(1)])
+    assert small == bytes([C.DW_CFA_advance_loc | 1])
+    medium = encode_cfi_program([cfi.advance_loc(0x80)])
+    assert medium[0] == C.DW_CFA_advance_loc1
+    large = encode_cfi_program([cfi.advance_loc(0x1234)])
+    assert large[0] == C.DW_CFA_advance_loc2
+    huge = encode_cfi_program([cfi.advance_loc(0x12345)])
+    assert huge[0] == C.DW_CFA_advance_loc4
+    for delta in (1, 0x80, 0x1234, 0x12345):
+        assert roundtrip([cfi.advance_loc(delta)]) == [cfi.advance_loc(delta)]
+
+
+def test_high_register_numbers_use_extended_forms():
+    program = [cfi.offset(40, -24), cfi.restore(40)]
+    assert roundtrip(program) == program
+
+
+def test_positive_register_offset_uses_signed_extended_form():
+    # A register saved above the CFA (rare but legal) needs the _sf form.
+    program = [cfi.offset(C.DWARF_REG_RBX if hasattr(C, "DWARF_REG_RBX") else 3, 16)]
+    assert roundtrip(program) == program
+
+
+def test_expression_forms_roundtrip():
+    program = [
+        cfi.def_cfa_expression(b"\x77\x08"),
+        cfi.expression(12, b"\x90\x01"),
+    ]
+    assert roundtrip(program) == program
+
+
+def test_state_and_misc_instructions_roundtrip():
+    program = [
+        cfi.remember_state(),
+        cfi.def_cfa_offset(32),
+        cfi.restore_state(),
+        cfi.nop(),
+        cfi.CfiInstruction("undefined", (3,)),
+        cfi.CfiInstruction("same_value", (12,)),
+        cfi.CfiInstruction("register", (3, 12)),
+        cfi.CfiInstruction("gnu_args_size", (16,)),
+    ]
+    assert roundtrip(program) == program
+
+
+def test_figure4_style_program_roundtrips():
+    """The FDE program from the paper's Figure 4b."""
+    program = [
+        cfi.advance_loc(1), cfi.def_cfa_offset(16), cfi.offset(6, -16),
+        cfi.advance_loc(12), cfi.def_cfa_offset(24), cfi.offset(3, -24),
+        cfi.advance_loc(11), cfi.def_cfa_offset(32),
+        cfi.advance_loc(29), cfi.def_cfa_offset(24),
+        cfi.advance_loc(1), cfi.def_cfa_offset(16),
+        cfi.advance_loc(1), cfi.def_cfa_offset(8),
+    ]
+    assert roundtrip(program) == program
+
+
+_INSTRUCTION = st.one_of(
+    st.builds(cfi.def_cfa, st.integers(0, 16), st.integers(0, 1 << 16)),
+    st.builds(cfi.def_cfa_register, st.integers(0, 16)),
+    st.builds(cfi.def_cfa_offset, st.integers(0, 1 << 20)),
+    st.builds(cfi.advance_loc, st.integers(1, 1 << 20)),
+    st.builds(cfi.offset, st.integers(0, 63), st.integers(-64, 0).map(lambda v: v * 8)),
+    st.builds(cfi.restore, st.integers(0, 63)),
+    st.just(cfi.nop()),
+    st.just(cfi.remember_state()),
+    st.just(cfi.restore_state()),
+)
+
+
+@given(st.lists(_INSTRUCTION, max_size=30))
+def test_arbitrary_programs_roundtrip(program):
+    assert roundtrip(program) == program

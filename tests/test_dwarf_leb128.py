@@ -1,0 +1,68 @@
+"""Tests for LEB128 encoding, including property-based round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dwarf.leb128 import (
+    decode_sleb128,
+    decode_uleb128,
+    encode_sleb128,
+    encode_uleb128,
+)
+
+
+def test_uleb_known_values():
+    assert encode_uleb128(0) == b"\x00"
+    assert encode_uleb128(127) == b"\x7f"
+    assert encode_uleb128(128) == b"\x80\x01"
+    assert encode_uleb128(624485) == b"\xe5\x8e\x26"
+
+
+def test_sleb_known_values():
+    assert encode_sleb128(0) == b"\x00"
+    assert encode_sleb128(2) == b"\x02"
+    assert encode_sleb128(-2) == b"\x7e"
+    assert encode_sleb128(-8) == b"\x78"  # the x86-64 data alignment factor
+    assert encode_sleb128(-129) == b"\xff\x7e"
+
+
+def test_uleb_rejects_negative():
+    with pytest.raises(ValueError):
+        encode_uleb128(-1)
+
+
+def test_decode_uses_offset_and_returns_new_position():
+    data = b"\xff" + encode_uleb128(300) + b"\x00"
+    value, pos = decode_uleb128(data, 1)
+    assert value == 300
+    assert data[pos] == 0
+
+
+def test_decode_truncated_raises():
+    with pytest.raises(ValueError):
+        decode_uleb128(b"\x80")
+    with pytest.raises(ValueError):
+        decode_sleb128(b"\xff")
+
+
+@given(st.integers(min_value=0, max_value=2**64))
+def test_uleb_roundtrip(value):
+    encoded = encode_uleb128(value)
+    decoded, pos = decode_uleb128(encoded)
+    assert decoded == value and pos == len(encoded)
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63))
+def test_sleb_roundtrip(value):
+    encoded = encode_sleb128(value)
+    decoded, pos = decode_sleb128(encoded)
+    assert decoded == value and pos == len(encoded)
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(min_value=-(2**32), max_value=2**32))
+def test_concatenated_values_decode_in_sequence(first, second):
+    data = encode_uleb128(first) + encode_sleb128(second)
+    value1, pos = decode_uleb128(data, 0)
+    value2, end = decode_sleb128(data, pos)
+    assert (value1, value2) == (first, second) and end == len(data)

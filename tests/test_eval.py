@@ -1,0 +1,204 @@
+"""Tests for metrics, experiment runners and table renderers."""
+
+from repro.eval import (
+    BinaryMetrics,
+    CorpusMetrics,
+    compute_metrics,
+    render_figure5,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_algorithm1_study,
+    run_fde_coverage_study,
+    run_fde_error_study,
+    run_figure5c,
+    run_selfbuilt_fde_study,
+    run_stack_height_study,
+    run_timing_study,
+    run_tool_comparison,
+    run_wild_study,
+)
+from repro.eval.tables import render_algorithm1, render_fde_coverage, render_fde_errors
+from repro.synth import build_wild_corpus
+from repro.synth.groundtruth import FunctionInfo, GroundTruth
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def make_truth():
+    truth = GroundTruth(name="demo")
+    truth.functions = [
+        FunctionInfo(name="a", address=0x1000, size=16),
+        FunctionInfo(name="b", address=0x1010, size=16, cold_part_addresses=[0x2000]),
+        FunctionInfo(name="c", address=0x1020, size=16),
+    ]
+    return truth
+
+
+def test_metrics_exact_detection():
+    metrics = compute_metrics(make_truth(), {0x1000, 0x1010, 0x1020})
+    assert metrics.fp_count == 0 and metrics.fn_count == 0
+    assert metrics.full_accuracy and metrics.full_coverage
+    assert metrics.precision == 1.0 and metrics.recall == 1.0
+
+
+def test_metrics_classifies_cold_part_false_positives():
+    metrics = compute_metrics(make_truth(), {0x1000, 0x1010, 0x1020, 0x2000, 0x3000})
+    assert metrics.fp_count == 2
+    assert metrics.cold_part_false_positives == {0x2000}
+    assert not metrics.full_accuracy and metrics.full_coverage
+
+
+def test_metrics_false_negatives():
+    metrics = compute_metrics(make_truth(), {0x1000})
+    assert metrics.fn_count == 2
+    assert not metrics.full_coverage
+    assert metrics.recall == 1 / 3
+
+
+def test_corpus_metrics_aggregation():
+    corpus = CorpusMetrics()
+    corpus.add(compute_metrics(make_truth(), {0x1000, 0x1010, 0x1020}))
+    corpus.add(compute_metrics(make_truth(), {0x1000, 0x2000}))
+    assert corpus.binary_count == 2
+    assert corpus.total_functions == 6
+    assert corpus.total_false_positives == 1
+    assert corpus.total_false_negatives == 2
+    assert corpus.binaries_with_full_accuracy == 1
+    assert corpus.binaries_with_full_coverage == 1
+    summary = corpus.summary()
+    assert summary["binaries"] == 2 and summary["false_positives"] == 1
+
+
+def test_empty_truth_has_perfect_defaults():
+    metrics = BinaryMetrics(binary_name="x", true_count=0, detected_count=0)
+    assert metrics.precision == 1.0 and metrics.recall == 1.0
+
+
+# ----------------------------------------------------------------------
+# Experiment runners (shapes of the paper's results)
+# ----------------------------------------------------------------------
+
+def test_fde_coverage_study_shape(small_corpus):
+    study = run_fde_coverage_study(small_corpus)
+    assert study.binary_count == len(small_corpus)
+    assert 95.0 < study.coverage_percent <= 100.0
+    # Anything FDEs miss must be assembly functions or clang's terminate stub.
+    assert set(study.missed_by_kind) <= {"asm", "terminate"}
+
+
+def test_fde_error_study_blames_non_contiguous_functions(small_corpus):
+    study = run_fde_error_study(small_corpus)
+    assert study.total_false_positives >= study.from_non_contiguous_functions
+    assert study.from_non_contiguous_functions + study.from_handwritten_fdes == (
+        study.total_false_positives
+    )
+    assert study.binaries_with_false_positives <= study.binary_count
+
+
+def test_algorithm1_study_removes_most_false_positives(small_corpus):
+    study = run_algorithm1_study(small_corpus)
+    assert study.false_positives_after <= study.false_positives_before
+    assert study.full_accuracy_after >= study.full_accuracy_before
+    assert study.new_false_negatives >= study.new_false_negatives_tailcall_only
+    if study.false_positives_before:
+        assert study.false_positive_reduction_percent >= 80.0
+
+
+def test_figure5c_ladder_shape(small_corpus):
+    outcomes = run_figure5c(small_corpus)
+    labels = [o.label for o in outcomes]
+    assert labels == ["FDE", "FDE+Rec", "FDE+Rec+Xref", "FDE+Rec+Xref+Tcall"]
+    by_label = {o.label: o for o in outcomes}
+    # Recursion and pointer validation only improve coverage.
+    assert by_label["FDE+Rec"].full_coverage >= by_label["FDE"].full_coverage
+    assert by_label["FDE+Rec+Xref"].full_coverage >= by_label["FDE+Rec"].full_coverage
+    # Algorithm 1 is what fixes accuracy.
+    assert (
+        by_label["FDE+Rec+Xref+Tcall"].full_accuracy
+        >= by_label["FDE+Rec+Xref"].full_accuracy
+    )
+
+
+def test_tool_comparison_has_all_tools_and_levels(small_corpus):
+    results = run_tool_comparison(small_corpus)
+    assert "Avg." in results
+    for row in results.values():
+        assert "fetch" in row and "ghidra" in row and "bap" in row
+    average = results["Avg."]
+    assert average["fetch"].false_positives <= average["bap"].false_positives
+
+
+def test_stack_height_study_reports_high_precision(small_corpus):
+    results = run_stack_height_study(small_corpus[:3])
+    assert results
+    for cells in results.values():
+        for flavor in ("angr", "dyninst"):
+            for scope in ("full", "jump"):
+                cell = cells[flavor][scope]
+                assert 0 <= cell.matching <= cell.reported <= cell.total
+                if cell.reported:
+                    assert cell.precision > 80.0
+
+
+def test_timing_study_reports_all_tools(small_corpus):
+    timings = run_timing_study(small_corpus[:2])
+    assert set(timings) >= {"fetch", "ghidra", "angr", "dyninst"}
+    assert all(value >= 0 for value in timings.values())
+
+
+def test_wild_study_reports_symbolless_binaries_without_ratio():
+    corpus = build_wild_corpus(scale=0.15, max_binaries=6)
+    rows = run_wild_study(corpus)
+    assert len(rows) == 6
+    for row, (profile, _) in zip(rows, corpus):
+        assert row.has_eh_frame
+        if profile.has_symbols:
+            assert row.fde_symbol_percent is not None
+        else:
+            assert row.fde_symbol_percent is None
+
+
+def test_selfbuilt_fde_study_groups_by_project(small_corpus):
+    rows = run_selfbuilt_fde_study(small_corpus)
+    assert rows
+    for row in rows:
+        assert row.has_eh_frame
+        assert 90.0 <= row.fde_symbol_percent <= 100.0
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+
+def test_renderers_produce_readable_tables(small_corpus):
+    coverage = render_fde_coverage(run_fde_coverage_study(small_corpus[:2]))
+    errors = render_fde_errors(run_fde_error_study(small_corpus[:2]))
+    algorithm1 = render_algorithm1(run_algorithm1_study(small_corpus[:2]))
+    assert "coverage" in coverage and "Q1" in coverage
+    assert "false positives" in errors
+    assert "Algorithm 1" in algorithm1
+
+    table3 = render_table3(run_tool_comparison(small_corpus[:2]))
+    assert "fetch" in table3 and "Avg." in table3
+
+    table4 = render_table4(run_stack_height_study(small_corpus[:2]))
+    assert "angr" in table4 and "dyninst" in table4
+
+    table5 = render_table5(run_timing_study(small_corpus[:1]))
+    assert "fetch" in table5
+
+    wild = build_wild_corpus(scale=0.15, max_binaries=3)
+    table1 = render_table1(run_wild_study(wild))
+    assert "Table I" in table1
+
+    table2 = render_table2(run_selfbuilt_fde_study(small_corpus[:4]))
+    assert "Table II" in table2
+
+    ladder = run_figure5c(small_corpus[:2])
+    figure = render_figure5(ladder, ladder, ladder)
+    assert "Figure 5a" in figure and "Figure 5c" in figure

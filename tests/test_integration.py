@@ -1,0 +1,59 @@
+"""End-to-end integration tests tying the whole pipeline together."""
+
+from repro.core import FetchDetector
+from repro.elf import BinaryImage
+from repro.eval.metrics import compute_metrics
+
+
+def test_elf_roundtrip_then_detection_matches_in_memory_analysis(rich_binary, tmp_path):
+    """Writing the binary to disk and re-loading it must not change results."""
+    path = tmp_path / "roundtrip.elf"
+    path.write_bytes(rich_binary.elf_bytes)
+    from_disk = BinaryImage.from_file(str(path))
+    in_memory_result = FetchDetector().detect(rich_binary.image)
+    on_disk_result = FetchDetector().detect(from_disk)
+    assert in_memory_result.function_starts == on_disk_result.function_starts
+
+
+def test_corpus_level_quality_bar(small_corpus):
+    """FETCH on a whole corpus: precision ~1.0, recall > 0.99 (paper §VI)."""
+    total_fp = total_fn = total_functions = 0
+    for binary in small_corpus:
+        result = FetchDetector().detect(binary.image)
+        metrics = compute_metrics(binary.ground_truth, result.function_starts)
+        total_fp += metrics.fp_count
+        total_fn += metrics.fn_count
+        total_functions += metrics.true_count
+    assert total_functions > 200
+    assert total_fp <= 0.01 * total_functions
+    assert total_fn <= 0.01 * total_functions
+
+
+def test_detection_is_independent_of_symbol_stripping(small_corpus):
+    """FETCH never reads the symbol table, so stripping must not matter."""
+    from repro.elf.structs import ElfFile
+
+    binary = small_corpus[0]
+    stripped_elf = ElfFile(
+        sections=binary.image.elf.sections,
+        symbols=[],
+        entry_point=binary.image.elf.entry_point,
+    )
+    stripped = BinaryImage(elf=stripped_elf, name="stripped-copy")
+    original = FetchDetector().detect(binary.image)
+    without_symbols = FetchDetector().detect(stripped)
+    assert original.function_starts == without_symbols.function_starts
+
+
+def test_every_example_module_is_importable():
+    import importlib.util
+    import pathlib
+
+    examples = pathlib.Path(__file__).resolve().parent.parent / "examples"
+    scripts = sorted(examples.glob("*.py"))
+    assert len(scripts) >= 3
+    for script in scripts:
+        spec = importlib.util.spec_from_file_location(script.stem, script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # importing must not run the demo
+        assert hasattr(module, "main")

@@ -1,0 +1,149 @@
+"""Robustness and failure-injection tests: malformed inputs must fail loudly
+and cleanly, never silently mis-analyse."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FetchDetector, FetchOptions
+from repro.dwarf.parser import EhFrameParseError, parse_eh_frame
+from repro.elf import BinaryImage, ElfFile, Section, write_elf
+from repro.elf import constants as C
+from repro.elf.reader import ElfParseError, read_elf
+
+
+def _image_with(sections, entry=0x401000, name="injected"):
+    return BinaryImage(elf=ElfFile(sections=sections, entry_point=entry), name=name)
+
+
+# ----------------------------------------------------------------------
+# Corrupted ELF containers
+# ----------------------------------------------------------------------
+
+@given(data=st.binary(min_size=0, max_size=128))
+@settings(max_examples=100)
+def test_arbitrary_bytes_never_parse_as_elf_silently(data):
+    try:
+        parsed = read_elf(data)
+    except (ElfParseError, ValueError, struct.error, IndexError):
+        return
+    # If it parsed, it must at least have carried the ELF magic.
+    assert data[:4] == b"\x7fELF"
+    assert parsed is not None
+
+
+def test_truncated_elf_is_rejected(rich_binary):
+    blob = rich_binary.elf_bytes[:200]
+    with pytest.raises((ElfParseError, ValueError, struct.error, IndexError)):
+        read_elf(blob)
+
+
+def test_flipping_section_offsets_does_not_crash_the_reader(rich_binary):
+    blob = bytearray(rich_binary.elf_bytes)
+    # Corrupt the section header offset field.
+    struct.pack_into("<Q", blob, 40, len(blob) * 4)
+    with pytest.raises((ElfParseError, ValueError, struct.error, IndexError)):
+        read_elf(bytes(blob))
+
+
+# ----------------------------------------------------------------------
+# Corrupted .eh_frame contents
+# ----------------------------------------------------------------------
+
+def test_truncated_eh_frame_is_rejected(rich_binary):
+    section = rich_binary.image.section(".eh_frame")
+    truncated = section.data[: len(section.data) // 2 + 3]
+    with pytest.raises((EhFrameParseError, ValueError, IndexError)):
+        parse_eh_frame(truncated, section.address)
+
+
+@given(position=st.integers(min_value=4, max_value=200), value=st.integers(0, 255))
+@settings(max_examples=60)
+def test_bitflipped_eh_frame_never_hangs(rich_binary, position, value):
+    section = rich_binary.image.section(".eh_frame")
+    corrupted = bytearray(section.data)
+    position %= len(corrupted)
+    corrupted[position] = value
+    try:
+        cies, fdes = parse_eh_frame(bytes(corrupted), section.address)
+    except (EhFrameParseError, ValueError, IndexError, KeyError):
+        return
+    # Parsed output, if any, must stay structurally sane.
+    for fde in fdes:
+        assert fde.pc_range >= 0
+
+
+def test_detector_on_binary_without_eh_frame_returns_nothing():
+    text = Section(
+        name=".text",
+        data=b"\x55\x48\x89\xe5\x5d\xc3" + b"\x90" * 10,
+        address=0x401000,
+        flags=C.SHF_ALLOC | C.SHF_EXECINSTR,
+    )
+    image = _image_with([text])
+    result = FetchDetector().detect(image)
+    assert result.function_starts == set()
+
+
+def test_detector_ignores_fdes_pointing_outside_executable_sections(rich_binary):
+    # Re-point the eh_frame to a data-only image: every FDE start now falls
+    # outside executable memory and must be discarded, not reported.
+    eh_frame = rich_binary.image.section(".eh_frame")
+    data_only = Section(
+        name=".rodata", data=b"\x00" * 64, address=0x402000, flags=C.SHF_ALLOC
+    )
+    moved_eh = Section(
+        name=".eh_frame", data=eh_frame.data, address=eh_frame.address, flags=C.SHF_ALLOC
+    )
+    image = _image_with([data_only, moved_eh], entry=0)
+    options = FetchOptions(use_recursion=False, validate_fde_starts=False,
+                           use_pointer_validation=False, use_tail_call_analysis=False)
+    with pytest.raises(ValueError):
+        # No executable section at all: the image itself is unusable and the
+        # facade says so explicitly.
+        _ = image.text
+    result = FetchDetector(options).detect(image)
+    assert result.function_starts == set()
+
+
+def test_detector_survives_text_full_of_random_bytes():
+    import random
+
+    rng = random.Random(7)
+    junk = bytes(rng.randrange(0, 256) for _ in range(4096))
+    text = Section(
+        name=".text", data=junk, address=0x401000, flags=C.SHF_ALLOC | C.SHF_EXECINSTR
+    )
+    image = _image_with([text])
+    result = FetchDetector().detect(image)
+    # Without call frames nothing should be claimed as a function.
+    assert result.function_starts == set()
+
+
+def test_detection_result_roundtrips_through_elf_with_modified_padding(rich_binary):
+    """Padding bytes are irrelevant to detection: rewriting them changes nothing."""
+    blob = bytearray(rich_binary.elf_bytes)
+    original = FetchDetector().detect(BinaryImage.from_bytes(bytes(blob), "orig"))
+
+    text = rich_binary.image.text
+    parsed = read_elf(bytes(blob))
+    raw_text = parsed.section(".text")
+    covered = set()
+    for info in rich_binary.ground_truth.functions:
+        covered.update(range(info.address, info.address + info.size))
+        for cold in info.cold_part_addresses:
+            covered.update(range(cold, cold + 1))
+    # Find the text section's file offset by searching for its contents.
+    file_offset = bytes(blob).find(raw_text.data)
+    assert file_offset > 0
+    mutated = bytearray(blob)
+    changed = 0
+    for index, byte in enumerate(text.data):
+        address = text.address + index
+        if byte == 0xCC and address not in covered and changed < 64:
+            mutated[file_offset + index] = 0x90
+            changed += 1
+    result = FetchDetector().detect(BinaryImage.from_bytes(bytes(mutated), "mutated"))
+    assert result.function_starts == original.function_starts

@@ -1,0 +1,146 @@
+"""Tests for the program planner and corpus builders."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import build_selfbuilt_corpus, build_wild_corpus, plan_program
+from repro.synth.corpus import SELFBUILT_PROJECTS, WILD_SOFTWARE
+from repro.synth.profiles import CompilerFamily, OptLevel, default_profile
+from repro.synth.workloads import WorkloadTraits
+
+
+def make_plan(seed=1, **trait_overrides):
+    profile = default_profile(CompilerFamily.GCC, OptLevel.O2)
+    traits = WorkloadTraits(**({"mean_functions": 60} | trait_overrides))
+    return plan_program("planned", profile, seed=seed, traits=traits)
+
+
+def test_plan_contains_runtime_functions():
+    plan = make_plan()
+    names = plan.function_names
+    for required in ("_start", "main", "exit_impl", "abort_impl"):
+        assert required in names
+
+
+def test_plan_is_deterministic_for_a_seed():
+    assert make_plan(seed=3).function_names == make_plan(seed=3).function_names
+    assert make_plan(seed=3).function_names != make_plan(seed=4).function_names
+
+
+def test_every_call_reachable_function_has_a_caller():
+    plan = make_plan()
+    called = {callee for f in plan.functions for callee in f.callees}
+    called |= {f.noreturn_callee for f in plan.functions if f.noreturn_callee}
+    called |= {f.tail_call_to for f in plan.functions if f.tail_call_to}
+    called |= set(plan.data_pointers.values())
+    for function in plan.functions:
+        if function.reachable_via == "call" and function.name != "main":
+            assert function.name in called, function.name
+
+
+def test_tailcall_only_targets_have_exactly_one_referencing_tail_call():
+    plan = make_plan(has_assembly=True, mean_functions=200)
+    tail_only = [f for f in plan.functions if f.reachable_via == "tailcall"]
+    assert tail_only, "expected tail-call-only functions in a large assembly project"
+    for target in tail_only:
+        callers = [f for f in plan.functions if f.tail_call_to == target.name]
+        direct = [f for f in plan.functions if target.name in f.callees]
+        assert len(callers) == 1 and not direct
+
+
+def test_indirect_only_targets_are_wired_through_data_pointers():
+    plan = make_plan(is_cpp=True, mean_functions=150)
+    indirect = [f for f in plan.functions if f.reachable_via == "indirect"]
+    assert indirect
+    slot_targets = set(plan.data_pointers.values())
+    for function in indirect:
+        assert function.name in slot_targets or any(
+            function.name in f.address_refs for f in plan.functions
+        )
+
+
+def test_cold_split_functions_keep_nonzero_stack_depth():
+    plan = make_plan(cold_split_multiplier=6.0, mean_functions=200)
+    split = [f for f in plan.functions if f.cold_split]
+    assert split
+    for function in split:
+        assert function.frame_size > 0 or function.saved_registers > 0
+
+
+def test_assembly_functions_only_in_assembly_projects():
+    without = make_plan(has_assembly=False, mean_functions=150)
+    assert not [f for f in without.functions if f.kind == "asm"]
+    with_asm = make_plan(has_assembly=True, mean_functions=300)
+    assert [f for f in with_asm.functions if f.kind == "asm"]
+
+
+def test_asm_functions_have_untyped_symbols_and_no_fde():
+    plan = make_plan(has_assembly=True, mean_functions=300)
+    for function in plan.functions:
+        if function.kind == "asm":
+            assert not function.has_fde
+            assert function.symbol_type == "notype"
+
+
+def test_clang_cpp_projects_get_terminate_helper():
+    profile = default_profile(CompilerFamily.CLANG, OptLevel.O2)
+    cpp = plan_program("cpp", profile, seed=1, traits=WorkloadTraits(is_cpp=True))
+    assert "__clang_call_terminate" in cpp.function_names
+    c_only = plan_program("c", profile, seed=1, traits=WorkloadTraits(is_cpp=False))
+    assert "__clang_call_terminate" not in c_only.function_names
+
+
+def test_data_in_text_blobs_are_planned():
+    plan = make_plan(mean_functions=120)
+    assert plan.data_in_text
+    assert all(isinstance(blob, bytes) and blob for blob in plan.data_in_text)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_any_seed_produces_a_consistent_plan(seed):
+    plan = make_plan(seed=seed, mean_functions=40)
+    names = plan.function_names
+    assert len(names) == len(set(names))
+    known = set(names)
+    for function in plan.functions:
+        for callee in function.callees:
+            assert callee in known
+        if function.tail_call_to:
+            assert function.tail_call_to in known
+
+
+# ----------------------------------------------------------------------
+# Corpus builders
+# ----------------------------------------------------------------------
+
+def test_selfbuilt_corpus_covers_compilers_and_opt_levels():
+    corpus = build_selfbuilt_corpus(scale=0.2, max_binaries=16)
+    assert len(corpus) == 16
+    compilers = {b.plan.profile.compiler for b in corpus}
+    levels = {b.plan.profile.opt_level for b in corpus}
+    assert compilers == {CompilerFamily.GCC, CompilerFamily.CLANG}
+    assert levels == set(OptLevel)
+
+
+def test_selfbuilt_corpus_is_reproducible():
+    first = build_selfbuilt_corpus(scale=0.2, max_binaries=4, seed=11)
+    second = build_selfbuilt_corpus(scale=0.2, max_binaries=4, seed=11)
+    assert [b.name for b in first] == [b.name for b in second]
+    assert [b.ground_truth.function_starts for b in first] == [
+        b.ground_truth.function_starts for b in second
+    ]
+
+
+def test_wild_corpus_strips_symbols_according_to_profile():
+    corpus = build_wild_corpus(scale=0.2, max_binaries=30)
+    assert corpus
+    for profile, binary in corpus:
+        assert binary.image.has_eh_frame
+        assert binary.image.has_symbols == profile.has_symbols
+
+
+def test_project_and_wild_tables_have_paper_scale_entries():
+    assert len(SELFBUILT_PROJECTS) >= 15
+    assert len(WILD_SOFTWARE) == 43
+    assert sum(1 for w in WILD_SOFTWARE if w.has_symbols) == 11

@@ -1,0 +1,154 @@
+"""Tests for the emulator and the eh_frame-driven stack unwinder (§III)."""
+
+import pytest
+
+from repro.synth import compile_program
+from repro.synth.plan import FunctionPlan, ProgramPlan
+from repro.synth.profiles import CompilerFamily, OptLevel, default_profile
+from repro.unwind import Emulator, EmulatorTrap, StackUnwinder
+from repro.unwind.unwinder import UnwindError
+from repro.x86.registers import RSP
+
+
+def build_chain(depth_plans):
+    """Compile a program whose call chain ends in an aborting function."""
+    profile = default_profile(CompilerFamily.GCC, OptLevel.O2)
+    plan = ProgramPlan(name="unwind-test", profile=profile)
+    plan.functions = [
+        FunctionPlan(
+            name="_start", kind="entry", reachable_via="entry", arg_count=0,
+            body_statements=2, callees=[depth_plans[0].name], noreturn_callee="exit_impl",
+        ),
+        FunctionPlan(name="exit_impl", kind="noreturn", is_noreturn=True, arg_count=1,
+                     body_statements=2),
+    ] + depth_plans
+    return compile_program(plan, keep_elf_bytes=False)
+
+
+@pytest.fixture(scope="module")
+def crashing_binary():
+    return build_chain([
+        FunctionPlan(name="outer", arg_count=2, frame_size=32, saved_registers=2,
+                     body_statements=4, callees=["middle"]),
+        FunctionPlan(name="middle", arg_count=2, frame_size=16, saved_registers=1,
+                     body_statements=3, callees=["inner"]),
+        FunctionPlan(name="inner", kind="noreturn", is_noreturn=True, arg_count=1,
+                     frame_size=16, saved_registers=1, body_statements=2),
+    ])
+
+
+def run_until_trap(binary):
+    emulator = Emulator(binary.image)
+    with pytest.raises(EmulatorTrap) as trap:
+        emulator.run()
+    return emulator, trap.value.state
+
+
+# ----------------------------------------------------------------------
+# Emulator
+# ----------------------------------------------------------------------
+
+def test_emulator_traps_in_the_innermost_function(crashing_binary):
+    _, state = run_until_trap(crashing_binary)
+    inner = crashing_binary.ground_truth.by_name("inner")
+    assert inner.address <= state.rip < inner.address + inner.size
+
+
+def test_emulator_maintains_a_call_trace(crashing_binary):
+    emulator, _ = run_until_trap(crashing_binary)
+    names = {f.address: f.name for f in crashing_binary.ground_truth.functions}
+    callees = [names.get(callee) for _, callee in emulator.call_trace]
+    assert callees == ["outer", "middle", "inner"]
+
+
+def test_emulator_stack_is_eight_byte_slots(crashing_binary):
+    emulator, state = run_until_trap(crashing_binary)
+    assert state.read_register(RSP) % 8 == 0
+
+
+def test_emulator_memory_roundtrip():
+    from repro.unwind.emulator import MachineState
+
+    state = MachineState()
+    state.write_memory(0x1000, 0x1122334455667788, 8)
+    assert state.read_memory(0x1000, 8) == 0x1122334455667788
+    assert state.read_memory(0x1004, 4) == 0x11223344
+
+
+def test_emulator_instruction_budget():
+    binary = build_chain([
+        FunctionPlan(name="spin", arg_count=1, body_statements=2, callees=[]),
+    ])
+    emulator = Emulator(binary.image)
+    with pytest.raises(EmulatorTrap):
+        emulator.run(max_instructions=10_000)
+
+
+def test_emulator_trap_addresses(crashing_binary):
+    outer = crashing_binary.ground_truth.by_name("outer")
+    emulator = Emulator(crashing_binary.image)
+    emulator.trap_addresses.add(outer.address)
+    with pytest.raises(EmulatorTrap) as trap:
+        emulator.run()
+    assert trap.value.state.rip == outer.address
+
+
+# ----------------------------------------------------------------------
+# Unwinder
+# ----------------------------------------------------------------------
+
+def test_unwinder_recovers_the_full_call_chain(crashing_binary):
+    _, state = run_until_trap(crashing_binary)
+    unwinder = StackUnwinder(crashing_binary.image)
+    names = {f.address: f.name for f in crashing_binary.ground_truth.functions}
+    chain = [names.get(start) for start in unwinder.backtrace(state)]
+    assert chain == ["inner", "middle", "outer", "_start"]
+
+
+def test_unwinder_frames_have_increasing_cfas(crashing_binary):
+    _, state = run_until_trap(crashing_binary)
+    frames = StackUnwinder(crashing_binary.image).unwind(state)
+    cfas = [frame.cfa for frame in frames]
+    assert cfas == sorted(cfas)
+    assert all(cfa % 8 == 0 for cfa in cfas)
+
+
+def test_unwinder_return_addresses_point_after_call_sites(crashing_binary):
+    emulator, state = run_until_trap(crashing_binary)
+    frames = StackUnwinder(crashing_binary.image).unwind(state)
+    call_sites = [site for site, _ in emulator.call_trace]
+    # Frame i's return address is the instruction after the call site that
+    # created frame i (innermost frame first).
+    for frame, call_site in zip(frames[:-1], reversed(call_sites)):
+        assert frame.return_address is not None
+        assert 0 < frame.return_address - call_site <= 5
+
+
+def test_unwinder_outermost_frame_has_no_return_address(crashing_binary):
+    _, state = run_until_trap(crashing_binary)
+    frames = StackUnwinder(crashing_binary.image).unwind(state)
+    assert frames[-1].return_address is None or frames[-1].function_start == (
+        crashing_binary.ground_truth.by_name("_start").address
+    )
+
+
+def test_unwinder_rejects_pc_without_fde(crashing_binary):
+    from repro.unwind.emulator import MachineState
+
+    unwinder = StackUnwinder(crashing_binary.image)
+    state = MachineState()
+    state.rip = 0x10  # unmapped
+    assert unwinder.unwind(state) == []
+
+
+def test_unwinder_with_frame_pointer_functions():
+    binary = build_chain([
+        FunctionPlan(name="outer", frame="rbp", arg_count=2, frame_size=32,
+                     body_statements=3, callees=["inner"]),
+        FunctionPlan(name="inner", kind="noreturn", is_noreturn=True, frame="rbp",
+                     arg_count=1, body_statements=2),
+    ])
+    _, state = run_until_trap(binary)
+    names = {f.address: f.name for f in binary.ground_truth.functions}
+    chain = [names.get(s) for s in StackUnwinder(binary.image).backtrace(state)]
+    assert chain == ["inner", "outer", "_start"]

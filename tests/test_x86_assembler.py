@@ -1,0 +1,131 @@
+"""Tests for the x86-64 encoder: exact byte sequences for known encodings."""
+
+import pytest
+
+from repro.x86.assembler import Assembler, EncodingError
+from repro.x86.operands import Mem
+from repro.x86.registers import R8, R10, R12, RAX, RBP, RBX, RDI, RSI, RSP
+
+asm = Assembler()
+
+
+def test_push_pop_classic_registers():
+    assert asm.push(RBP) == b"\x55"
+    assert asm.push(RBX) == b"\x53"
+    assert asm.pop(RBP) == b"\x5d"
+
+
+def test_push_pop_extended_registers_need_rex():
+    assert asm.push(R12) == b"\x41\x54"
+    assert asm.pop(R12) == b"\x41\x5c"
+
+
+def test_mov_register_register():
+    # mov rbp, rsp — the canonical frame-pointer setup.
+    assert asm.mov_rr(RBP, RSP) == b"\x48\x89\xe5"
+
+
+def test_mov_immediate_small_uses_sign_extended_form():
+    encoded = asm.mov_ri(RAX, 0x1234)
+    assert encoded == b"\x48\xc7\xc0\x34\x12\x00\x00"
+
+
+def test_mov_immediate_large_uses_movabs():
+    encoded = asm.mov_ri(R10, 0x1_2345_6789)
+    assert encoded[0] == 0x49 and encoded[1] == 0xB8 + (R10.number & 7)
+    assert len(encoded) == 10
+
+
+def test_mov_ri32_zero_extends():
+    assert asm.mov_ri32(RDI, 5) == b"\xbf\x05\x00\x00\x00"
+    assert asm.mov_ri32(R8, 5) == b"\x41\xb8\x05\x00\x00\x00"
+
+
+def test_sub_add_rsp_imm8():
+    assert asm.sub_ri(RSP, 0x28) == b"\x48\x83\xec\x28"
+    assert asm.add_ri(RSP, 0x28) == b"\x48\x83\xc4\x28"
+
+
+def test_group1_imm32_form_for_large_values():
+    encoded = asm.sub_ri(RSP, 0x1000)
+    assert encoded[:3] == b"\x48\x81\xec"
+    assert int.from_bytes(encoded[3:], "little") == 0x1000
+
+
+def test_group1_rejects_values_beyond_32_bits():
+    with pytest.raises(EncodingError):
+        asm.add_ri(RAX, 1 << 40)
+
+
+def test_lea_rip_relative():
+    encoded = asm.lea(RDI, Mem(rip_relative=True, disp=0x100))
+    assert encoded == b"\x48\x8d\x3d\x00\x01\x00\x00"
+
+
+def test_lea_requires_memory_operand():
+    with pytest.raises(EncodingError):
+        asm.lea(RDI, RSI)  # type: ignore[arg-type]
+
+
+def test_memory_with_rbp_base_always_has_displacement():
+    # [rbp] cannot be encoded with mod=00; a disp8 of 0 is required.
+    encoded = asm.mov_load(RAX, Mem(base=RBP, disp=0))
+    assert encoded == b"\x48\x8b\x45\x00"
+
+
+def test_memory_with_rsp_base_uses_sib():
+    encoded = asm.mov_store(Mem(base=RSP, disp=8), RDI)
+    assert encoded == b"\x48\x89\x7c\x24\x08"
+
+
+def test_memory_with_index_scale():
+    encoded = asm.jmp_mem(Mem(base=RAX, index=RDI, scale=8))
+    assert encoded == b"\xff\x24\xf8"
+
+
+def test_rsp_cannot_be_an_index_register():
+    with pytest.raises(EncodingError):
+        asm.mov_load(RAX, Mem(base=RAX, index=RSP, scale=8))
+
+
+def test_call_and_jump_relative_forms():
+    assert asm.call_rel32(0x50) == b"\xe8\x50\x00\x00\x00"
+    assert asm.jmp_rel32(-0x30) == b"\xe9\xd0\xff\xff\xff"
+    assert asm.jmp_rel8(5) == b"\xeb\x05"
+
+
+def test_conditional_jumps():
+    assert asm.jcc_rel8("e", -4) == b"\x74\xfc"
+    assert asm.jcc_rel32("ne", 0x20) == b"\x0f\x85\x20\x00\x00\x00"
+
+
+def test_indirect_call_through_register_and_memory():
+    assert asm.call_reg(RAX) == b"\xff\xd0"
+    assert asm.call_mem(Mem(rip_relative=True, disp=0x2000)) == b"\xff\x15\x00\x20\x00\x00"
+
+
+def test_simple_opcodes():
+    assert asm.ret() == b"\xc3"
+    assert asm.leave() == b"\xc9"
+    assert asm.endbr64() == b"\xf3\x0f\x1e\xfa"
+    assert asm.syscall() == b"\x0f\x05"
+    assert asm.ud2() == b"\x0f\x0b"
+    assert asm.hlt() == b"\xf4"
+
+
+def test_nop_padding_produces_exact_length():
+    for length in range(0, 40):
+        assert len(asm.nop(length)) == length
+
+
+def test_int3_padding():
+    assert asm.int3_padding(3) == b"\xcc\xcc\xcc"
+
+
+def test_xor_zeroing_idiom_is_short():
+    assert asm.xor_rr32(RAX, RAX) == b"\x31\xc0"
+
+
+def test_shift_and_movsxd():
+    assert asm.shl_ri(RAX, 3) == b"\x48\xc1\xe0\x03"
+    assert asm.movsxd(RAX, RDI) == b"\x48\x63\xc7"
