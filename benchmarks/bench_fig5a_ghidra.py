@@ -4,10 +4,18 @@ from repro.eval import run_figure5a
 from repro.eval.tables import render_strategy_outcomes
 
 
-def test_figure5a_ghidra_strategies(benchmark, selfbuilt_corpus, report_writer):
+def test_figure5a_ghidra_strategies(
+    benchmark, selfbuilt_corpus, report_writer, make_evaluator
+):
+    evaluator = make_evaluator(selfbuilt_corpus)
     outcomes = benchmark.pedantic(
-        run_figure5a, args=(selfbuilt_corpus,), rounds=1, iterations=1
+        lambda: evaluator.timed(
+            "ladder", run_figure5a, selfbuilt_corpus, evaluator=evaluator
+        ),
+        rounds=1,
+        iterations=1,
     )
+    evaluator.write_bench("figure5a_ghidra")
     report_writer(
         "figure5a_ghidra", render_strategy_outcomes("Figure 5a — GHIDRA strategies", outcomes)
     )

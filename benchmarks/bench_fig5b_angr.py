@@ -4,10 +4,18 @@ from repro.eval import run_figure5b
 from repro.eval.tables import render_strategy_outcomes
 
 
-def test_figure5b_angr_strategies(benchmark, selfbuilt_corpus, report_writer):
+def test_figure5b_angr_strategies(
+    benchmark, selfbuilt_corpus, report_writer, make_evaluator
+):
+    evaluator = make_evaluator(selfbuilt_corpus)
     outcomes = benchmark.pedantic(
-        run_figure5b, args=(selfbuilt_corpus,), rounds=1, iterations=1
+        lambda: evaluator.timed(
+            "ladder", run_figure5b, selfbuilt_corpus, evaluator=evaluator
+        ),
+        rounds=1,
+        iterations=1,
     )
+    evaluator.write_bench("figure5b_angr")
     report_writer(
         "figure5b_angr", render_strategy_outcomes("Figure 5b — ANGR strategies", outcomes)
     )

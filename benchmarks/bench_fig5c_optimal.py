@@ -4,10 +4,18 @@ from repro.eval import run_figure5c
 from repro.eval.tables import render_strategy_outcomes
 
 
-def test_figure5c_optimal_strategies(benchmark, selfbuilt_corpus, report_writer):
+def test_figure5c_optimal_strategies(
+    benchmark, selfbuilt_corpus, report_writer, make_evaluator
+):
+    evaluator = make_evaluator(selfbuilt_corpus)
     outcomes = benchmark.pedantic(
-        run_figure5c, args=(selfbuilt_corpus,), rounds=1, iterations=1
+        lambda: evaluator.timed(
+            "ladder", run_figure5c, selfbuilt_corpus, evaluator=evaluator
+        ),
+        rounds=1,
+        iterations=1,
     )
+    evaluator.write_bench("figure5c_optimal")
     report_writer(
         "figure5c_optimal",
         render_strategy_outcomes("Figure 5c — optimal strategies (FETCH)", outcomes),

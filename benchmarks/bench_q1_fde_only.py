@@ -4,9 +4,19 @@ from repro.eval import run_fde_coverage_study
 from repro.eval.tables import render_fde_coverage
 
 
-def test_q1_fde_only_coverage(benchmark, selfbuilt_corpus, report_writer):
+def test_q1_fde_only_coverage(
+    benchmark, selfbuilt_corpus, report_writer, make_evaluator
+):
+    evaluator = make_evaluator(selfbuilt_corpus)
     study = benchmark.pedantic(
-        run_fde_coverage_study, args=(selfbuilt_corpus,), rounds=1, iterations=1
+        lambda: evaluator.timed(
+            "fde_coverage", run_fde_coverage_study, selfbuilt_corpus, evaluator=evaluator
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    evaluator.write_bench(
+        "q1_fde_only", extra={"coverage_percent": round(study.coverage_percent, 3)}
     )
     report_writer("q1_fde_only", render_fde_coverage(study))
 

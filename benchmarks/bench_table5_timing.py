@@ -4,10 +4,22 @@ from repro.eval import run_timing_study
 from repro.eval.tables import render_table5
 
 
-def test_table5_timing(benchmark, selfbuilt_corpus_small, report_writer):
+def test_table5_timing(
+    benchmark, selfbuilt_corpus_small, report_writer, make_evaluator
+):
+    evaluator = make_evaluator(selfbuilt_corpus_small, jobs=1)
     timings = benchmark.pedantic(
-        run_timing_study, args=(selfbuilt_corpus_small,), rounds=1, iterations=1
+        lambda: evaluator.timed(
+            "timing_study",
+            run_timing_study,
+            selfbuilt_corpus_small,
+            evaluator=evaluator,
+        ),
+        rounds=1,
+        iterations=1,
     )
+    evaluator.timings.update({f"per_binary_{k}": v for k, v in timings.items()})
+    evaluator.write_bench("table5_timing")
     report_writer("table5_timing", render_table5(timings))
 
     # FETCH's runtime is of the same order as the fastest tools — the paper

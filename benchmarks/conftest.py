@@ -3,8 +3,11 @@
 Every benchmark regenerates one table or figure of the paper.  The corpus
 size is controlled by the ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_MAX_BINARIES``
 environment variables so the full harness can be dialled between "smoke test"
-and "paper scale".  Rendered tables are printed to stdout and written to
-``benchmarks/reports/`` for inclusion in EXPERIMENTS.md.
+and "paper scale", and ``REPRO_BENCH_JOBS`` (or ``--repro-jobs``) sets how
+many binaries the shared-context :class:`~repro.eval.runner.CorpusEvaluator`
+evaluates in parallel.  Rendered tables are printed to stdout and written to
+``benchmarks/reports/`` for inclusion in EXPERIMENTS.md; machine-readable
+timing records land in ``BENCH_<name>.json`` at the repository root.
 """
 
 from __future__ import annotations
@@ -14,9 +17,20 @@ from pathlib import Path
 
 import pytest
 
+from repro.eval import CorpusEvaluator
 from repro.synth import build_selfbuilt_corpus, build_wild_corpus
 
 REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
+BENCH_DIRECTORY = Path(__file__).resolve().parent.parent
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-jobs",
+        type=int,
+        default=None,
+        help="binaries evaluated in parallel (overrides REPRO_BENCH_JOBS)",
+    )
 
 
 def _scale() -> float:
@@ -26,6 +40,13 @@ def _scale() -> float:
 def _max_binaries() -> int | None:
     value = os.environ.get("REPRO_BENCH_MAX_BINARIES", "")
     return int(value) if value else None
+
+
+def _jobs(config) -> int:
+    option = config.getoption("--repro-jobs")
+    if option is not None:
+        return max(1, option)
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
 @pytest.fixture(scope="session")
@@ -44,6 +65,26 @@ def selfbuilt_corpus_small(selfbuilt_corpus):
 def wild_corpus():
     """The Dataset-1 (wild binaries) analogue."""
     return build_wild_corpus(scale=0.4, seed=2021)
+
+
+@pytest.fixture(scope="session")
+def bench_jobs(pytestconfig) -> int:
+    """The ``--jobs`` knob of the parallel corpus evaluation."""
+    return _jobs(pytestconfig)
+
+
+@pytest.fixture()
+def make_evaluator(bench_jobs):
+    """Build a shared-context CorpusEvaluator emitting BENCH_*.json records."""
+
+    def make(corpus, *, jobs: int | None = None) -> CorpusEvaluator:
+        return CorpusEvaluator(
+            corpus,
+            jobs=bench_jobs if jobs is None else jobs,
+            bench_dir=BENCH_DIRECTORY,
+        )
+
+    return make
 
 
 @pytest.fixture(scope="session")

@@ -12,8 +12,11 @@ is read; undecodable bytes are also violations.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable
+
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import DecodeError, decode_instruction
+from repro.x86.instruction import Instruction
 from repro.x86.registers import (
     ARGUMENT_REGISTERS,
     CALLER_SAVED_REGISTERS,
@@ -23,13 +26,38 @@ from repro.x86.registers import (
 )
 from repro.x86.semantics import registers_read, registers_written
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import AnalysisContext
+
 _DEFAULT_LIMIT = 48
 
 
 def satisfies_calling_convention(
-    image: BinaryImage, address: int, *, max_instructions: int = _DEFAULT_LIMIT
+    image: BinaryImage,
+    address: int,
+    *,
+    max_instructions: int = _DEFAULT_LIMIT,
+    context: "AnalysisContext | None" = None,
 ) -> bool:
-    """Whether code starting at ``address`` looks like a function entry."""
+    """Whether code starting at ``address`` looks like a function entry.
+
+    With a ``context`` the verdict is memoized per address (the check is a
+    pure function of the image bytes) and decoding goes through the shared
+    decode cache.
+    """
+    if context is not None:
+        return context.calling_convention_ok(address, max_instructions=max_instructions)
+    return check_entry_convention(image, address, max_instructions=max_instructions)
+
+
+def check_entry_convention(
+    image: BinaryImage,
+    address: int,
+    *,
+    max_instructions: int = _DEFAULT_LIMIT,
+    decode: Callable[[int], Instruction | None] | None = None,
+) -> bool:
+    """The uncached convention walk; ``decode`` overrides instruction access."""
     initialized = set(ARGUMENT_REGISTERS) | {RSP, RBP}
     visited: set[int] = set()
     current = address
@@ -39,13 +67,18 @@ def satisfies_calling_convention(
             return True
         visited.add(current)
 
-        section = image.section_containing(current)
-        if section is None or not section.is_executable:
-            return False
-        try:
-            insn = decode_instruction(section.data, current - section.address, current)
-        except DecodeError:
-            return False
+        if decode is not None:
+            insn = decode(current)
+            if insn is None:
+                return False
+        else:
+            section = image.section_containing(current)
+            if section is None or not section.is_executable:
+                return False
+            try:
+                insn = decode_instruction(section.data, current - section.address, current)
+            except DecodeError:
+                return False
 
         if insn.is_ret or insn.mnemonic in ("ud2", "hlt"):
             return True

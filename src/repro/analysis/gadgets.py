@@ -10,15 +10,28 @@ a bounded number of instructions counts as one gadget.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import DecodeError, decode_instruction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import AnalysisContext
 
 _MAX_WINDOW = 64
 _MAX_GADGET_INSTRUCTIONS = 5
 
 
-def count_rop_gadgets(image: BinaryImage, address: int, *, window: int = _MAX_WINDOW) -> int:
+def count_rop_gadgets(
+    image: BinaryImage,
+    address: int,
+    *,
+    window: int = _MAX_WINDOW,
+    context: "AnalysisContext | None" = None,
+) -> int:
     """Count ROP gadgets in the code window starting at ``address``."""
+    if context is not None:
+        return context.gadget_count(address, window=window)
     section = image.section_containing(address)
     if section is None or not section.is_executable:
         return 0
@@ -37,9 +50,14 @@ def count_rop_gadgets(image: BinaryImage, address: int, *, window: int = _MAX_WI
     return gadgets
 
 
-def count_gadgets_at_starts(image: BinaryImage, addresses: set[int]) -> int:
+def count_gadgets_at_starts(
+    image: BinaryImage,
+    addresses: set[int],
+    *,
+    context: "AnalysisContext | None" = None,
+) -> int:
     """Total gadget count over a set of (false) function start addresses."""
-    return sum(count_rop_gadgets(image, address) for address in addresses)
+    return sum(count_rop_gadgets(image, address, context=context) for address in addresses)
 
 
 def _decodes_to_ret(data: bytes, start: int, ret_offset: int, base: int) -> bool:

@@ -12,17 +12,7 @@ def compute_gaps(image: BinaryImage, result: DisassemblyResult) -> list[tuple[in
     These are the regions existing tools probe with prologue matching and
     linear scanning (§II-B / §IV-D).
     """
-    covered: list[tuple[int, int]] = []
-    for insn in result.instructions.values():
-        covered.append((insn.address, insn.end))
-    covered.sort()
-
-    merged: list[tuple[int, int]] = []
-    for start, end in covered:
-        if merged and start <= merged[-1][1]:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
-        else:
-            merged.append((start, end))
+    merged = result.covered_ranges()
 
     gaps: list[tuple[int, int]] = []
     for section in image.executable_sections:

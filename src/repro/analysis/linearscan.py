@@ -9,8 +9,13 @@ linearly, and report the address where decoding succeeded.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import decode_range
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import AnalysisContext
 
 #: Bytes compilers use as inter-function filler.
 _PADDING_BYTES = frozenset((0x90, 0xCC, 0x00))
@@ -21,9 +26,13 @@ _MAX_PIECES_PER_GAP = 4
 
 
 def linear_scan_gaps(
-    image: BinaryImage, gaps: list[tuple[int, int]]
+    image: BinaryImage,
+    gaps: list[tuple[int, int]],
+    *,
+    context: "AnalysisContext | None" = None,
 ) -> set[int]:
     """Return the starts of decodable code pieces found inside ``gaps``."""
+    cache = context.decode_cache if context is not None else None
     starts: set[int] = set()
     for gap_start, gap_end in gaps:
         section = image.section_containing(gap_start)
@@ -44,6 +53,7 @@ def linear_scan_gaps(
                     cursor - section.address,
                     end - section.address,
                     stop_on_error=True,
+                    cache=cache,
                 )
             )
             meaningful = [i for i in decoded if not i.is_padding]

@@ -10,26 +10,44 @@ GHIDRA's control-flow repairing remove true function starts (§IV-C).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.recursive import RecursiveDisassembler
 from repro.analysis.result import DisassemblyResult
 from repro.elf.image import BinaryImage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import AnalysisContext
 
 
 class NoreturnAnalysis:
     """Classify detected functions as returning / non-returning."""
 
-    def __init__(self, image: BinaryImage, mode: str = "precise"):
+    def __init__(
+        self,
+        image: BinaryImage,
+        mode: str = "precise",
+        *,
+        context: "AnalysisContext | None" = None,
+    ):
         if mode not in ("precise", "eager"):
             raise ValueError(f"unknown noreturn mode: {mode}")
         self.image = image
         self.mode = mode
+        self.context = context
 
     def compute(
         self, result: DisassemblyResult, disassembler: RecursiveDisassembler | None = None
     ) -> set[int]:
         """Return the set of non-returning function starts in ``result``."""
         if self.mode == "precise":
-            disassembler = disassembler or RecursiveDisassembler(self.image)
+            if disassembler is None:
+                # One accumulating disassembler for the whole compute() call,
+                # exactly as in the context-free run: the shared context only
+                # contributes canonical (order-independent) caches, so the
+                # verdicts — including on call cycles — are identical with
+                # and without it.
+                disassembler = RecursiveDisassembler(self.image, context=self.context)
             return {
                 start for start in result.functions if disassembler.is_noreturn(start)
             }

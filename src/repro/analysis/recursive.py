@@ -10,24 +10,62 @@ reach near-full coverage without introducing false positives.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.jumptable import resolve_jump_table
 from repro.analysis.result import DisassembledFunction, DisassemblyResult
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import DecodeError, decode_instruction
 from repro.x86.instruction import Instruction
-from repro.x86.operands import Imm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import AnalysisContext
 
 _MAX_FUNCTION_INSTRUCTIONS = 20_000
 
 
 class RecursiveDisassembler:
-    """Recursive-traversal disassembler with on-demand noreturn analysis."""
+    """Recursive-traversal disassembler with on-demand noreturn analysis.
 
-    def __init__(self, image: BinaryImage, *, follow_calls: bool = True):
+    With a shared :class:`~repro.core.context.AnalysisContext`, two levels of
+    work are shared with every other consumer of the same image:
+
+    * the instruction-decode memo (the context's dict is used directly, so
+      the hot path stays at C speed), and
+    * fully-explored functions and their noreturn facts.
+
+    Function-level sharing is restricted to *canonical* computations: the
+    exploration of a function is cached only when it never leaned on the
+    "assume an in-progress callee returns" escape hatch of the noreturn
+    fix-point (directly or through a callee's fact).  Such computations
+    depend only on the image bytes — not on which seeds the current run
+    started from — so a detector produces byte-identical results with a
+    shared cache and with a fresh one.  Functions on call cycles stay
+    per-instance, exactly as before.
+    """
+
+    def __init__(
+        self,
+        image: BinaryImage,
+        *,
+        follow_calls: bool = True,
+        context: "AnalysisContext | None" = None,
+    ):
         self.image = image
         self.follow_calls = follow_calls
-        self._decode_cache: dict[int, Instruction | None] = {}
+        self.context = context
+        if context is not None:
+            self._decode_cache: dict[int, Instruction | None] = context.decode_cache
+            self._shared_functions: dict[int, DisassembledFunction] | None = (
+                context.function_cache
+            )
+            self._shared_noreturn: dict[int, bool] | None = context.noreturn_facts
+        else:
+            self._decode_cache = {}
+            self._shared_functions = None
+            self._shared_noreturn = None
         self._noreturn: dict[int, bool] = {}
+        self._tainted: set[int] = set()
         self._in_progress: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -48,16 +86,7 @@ class RecursiveDisassembler:
             result.functions[start] = function
             result.instructions.update(function.instructions)
             result.call_targets.update(function.call_targets)
-            for insn in function.instructions.values():
-                # Branch-target immediates are control-flow references, not
-                # address-taking constants; they are accounted for separately.
-                if not insn.is_branch:
-                    for operand in insn.operands:
-                        if isinstance(operand, Imm) and operand.size >= 4:
-                            result.code_constants.add(operand.value)
-                rip_target = insn.rip_target
-                if rip_target is not None:
-                    result.code_constants.add(rip_target)
+            result.code_constants.update(function.code_constants)
             if self.follow_calls:
                 for target in function.call_targets:
                     if target not in queued and self._is_code(target):
@@ -93,6 +122,13 @@ class RecursiveDisassembler:
 
     def _disassemble_function(self, start: int) -> DisassembledFunction:
         """Explore intra-procedural control flow from ``start``."""
+        shared = self._shared_functions
+        if shared is not None and start in shared and start not in self._tainted:
+            # Canonical (assumption-free) computation cached for this image;
+            # recomputing it is guaranteed to give the same answer.
+            self._noreturn[start] = self._shared_noreturn[start]
+            return shared[start]
+
         function = DisassembledFunction(start=start)
         if start in self._in_progress:
             return function
@@ -102,6 +138,7 @@ class RecursiveDisassembler:
         path_cache: dict[int, list[Instruction]] = {start: []}
         saw_ret = False
         saw_escape = False
+        tainted = False
 
         while worklist and len(function.instructions) < _MAX_FUNCTION_INSTRUCTIONS:
             address = worklist.pop()
@@ -114,7 +151,7 @@ class RecursiveDisassembler:
                     function.had_decode_error = True
                     break
                 function.instructions[address] = insn
-                path = path + [insn]
+                path.append(insn)
 
                 if insn.is_ret:
                     saw_ret = True
@@ -125,7 +162,9 @@ class RecursiveDisassembler:
                     target = insn.branch_target
                     if target is not None:
                         function.call_targets.add(target)
-                        if self._call_returns(target):
+                        returns, assumption = self._call_returns_tracked(target)
+                        tainted |= assumption
+                        if returns:
                             address = insn.end
                             continue
                         break
@@ -173,16 +212,38 @@ class RecursiveDisassembler:
             and j.branch_target not in function.instructions
             for j in function.jumps
         )
-        self._noreturn[start] = not saw_ret and not saw_escape and not tail_jumps_out and bool(
+        noreturn = not saw_ret and not saw_escape and not tail_jumps_out and bool(
             function.instructions
         )
+        self._noreturn[start] = noreturn
+        if tainted:
+            self._tainted.add(start)
+        elif self._shared_functions is not None and start not in self._shared_functions:
+            self._shared_functions[start] = function
+            self._shared_noreturn[start] = noreturn
         return function
 
     def _call_returns(self, target: int) -> bool:
         """Whether a call to ``target`` can fall through."""
+        return self._call_returns_tracked(target)[0]
+
+    def _call_returns_tracked(self, target: int) -> tuple[bool, bool]:
+        """(can the call fall through, did the answer rely on an assumption).
+
+        The assumption flag is set when the answer leaned — directly or via a
+        callee's fact — on "an in-progress function is presumed returning",
+        the escape hatch that makes the fix-point's outcome depend on
+        traversal order.  Callers propagate it to keep such results out of
+        the shared context cache.
+        """
+        shared = self._shared_noreturn
+        if shared is not None and target in shared and target not in self._tainted:
+            return not shared[target], False
         if target in self._noreturn:
-            return not self._noreturn[target]
-        if target in self._in_progress or not self._is_code(target):
-            return True
+            return not self._noreturn[target], target in self._tainted
+        if target in self._in_progress:
+            return True, True
+        if not self._is_code(target):
+            return True, False
         self._disassemble_function(target)
-        return not self._noreturn.get(target, False)
+        return not self._noreturn.get(target, False), target in self._tainted

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.x86.instruction import Instruction
+from repro.x86.operands import Imm
 
 
 @dataclass
@@ -23,6 +24,33 @@ class DisassembledFunction:
     jumps: list[Instruction] = field(default_factory=list)
     #: whether exploration hit a decoding error
     had_decode_error: bool = False
+    #: lazily-computed constants, see :attr:`code_constants`
+    _code_constants: set[int] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def code_constants(self) -> set[int]:
+        """Address-sized constants in this function's decoded instructions.
+
+        Branch-target immediates are control-flow references, not
+        address-taking constants; they are accounted for separately.  The set
+        is computed once per function — the instruction set is fixed after
+        exploration — and shared by every consumer (do not mutate it).
+        """
+        constants = self._code_constants
+        if constants is None:
+            constants = set()
+            for insn in self.instructions.values():
+                if not insn.is_branch:
+                    for operand in insn.operands:
+                        if isinstance(operand, Imm) and operand.size >= 4:
+                            constants.add(operand.value)
+                rip_target = insn.rip_target
+                if rip_target is not None:
+                    constants.add(rip_target)
+            self._code_constants = constants
+        return constants
 
     @property
     def addresses(self) -> set[int]:
@@ -58,10 +86,37 @@ class DisassemblyResult:
     call_targets: set[int] = field(default_factory=set)
     #: constants (immediates / RIP-relative targets) seen in decoded code
     code_constants: set[int] = field(default_factory=set)
+    #: memo for :meth:`covered_ranges`, valid while no instruction is added
+    _coverage_cache: tuple[int, list[tuple[int, int]]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def function_starts(self) -> set[int]:
         return set(self.functions)
+
+    def covered_ranges(self) -> list[tuple[int, int]]:
+        """Sorted, merged ``[start, end)`` byte ranges of all instructions.
+
+        Instructions are only ever *added* to a result, so the memo is keyed
+        by the instruction count; gap computation between pipeline stages
+        then reuses the merge instead of rescanning every instruction.
+        """
+        cached = self._coverage_cache
+        if cached is not None and cached[0] == len(self.instructions):
+            return cached[1]
+        covered = sorted(
+            (insn.address, insn.end) for insn in self.instructions.values()
+        )
+        merged: list[tuple[int, int]] = []
+        for start, end in covered:
+            if merged and start <= merged[-1][1]:
+                if end > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], end)
+            else:
+                merged.append((start, end))
+        self._coverage_cache = (len(self.instructions), merged)
+        return merged
 
     def is_instruction_start(self, address: int) -> bool:
         return address in self.instructions

@@ -12,27 +12,38 @@ violation).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.callconv import satisfies_calling_convention
 from repro.analysis.gaps import compute_gaps
 from repro.analysis.result import DisassemblyResult
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import DecodeError, decode_instruction
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import AnalysisContext
+
 _VALIDATION_INSTRUCTION_LIMIT = 600
 
 
 def collect_potential_pointers(
-    image: BinaryImage, result: DisassemblyResult
+    image: BinaryImage,
+    result: DisassemblyResult,
+    *,
+    context: "AnalysisContext | None" = None,
 ) -> set[int]:
-    """Collect the conservative super-set of potential function pointers."""
-    candidates: set[int] = set()
+    """Collect the conservative super-set of potential function pointers.
 
-    for section in image.data_sections:
-        data = section.data
-        for offset in range(0, max(len(data) - 7, 0)):
-            value = int.from_bytes(data[offset : offset + 8], "little")
-            if image.is_executable_address(value):
-                candidates.add(value)
+    The data-section sliding-window scan depends only on the image, so with a
+    ``context`` it is computed once per binary; the gap scan and the code
+    constants depend on ``result`` and are recomputed per call.
+    """
+    if context is not None:
+        candidates = set(context.data_pointer_candidates())
+    else:
+        from repro.core.context import scan_data_pointers
+
+        candidates = scan_data_pointers(image)
 
     for gap_start, gap_end in compute_gaps(image, result):
         section = image.section_containing(gap_start)
@@ -57,6 +68,8 @@ def validate_function_pointer(
     address: int,
     result: DisassemblyResult,
     known_starts: set[int],
+    *,
+    context: "AnalysisContext | None" = None,
 ) -> bool:
     """Validate a candidate function pointer by conservative re-disassembly.
 
@@ -69,7 +82,7 @@ def validate_function_pointer(
         return False
     if result.is_inside_instruction(address):
         return False
-    if not satisfies_calling_convention(image, address):
+    if not satisfies_calling_convention(image, address, context=context):
         return False
 
     visited: set[int] = set()
@@ -81,13 +94,20 @@ def validate_function_pointer(
             if current in visited or current in result.instructions:
                 break
             budget -= 1
-            section = image.section_containing(current)
-            if section is None or not section.is_executable:
-                return False
-            try:
-                insn = decode_instruction(section.data, current - section.address, current)
-            except DecodeError:
-                return False
+            if context is not None:
+                insn = context.decode(current)
+                if insn is None:
+                    return False
+            else:
+                section = image.section_containing(current)
+                if section is None or not section.is_executable:
+                    return False
+                try:
+                    insn = decode_instruction(
+                        section.data, current - section.address, current
+                    )
+                except DecodeError:
+                    return False
             if result.is_inside_instruction(current):
                 return False
             visited.add(current)

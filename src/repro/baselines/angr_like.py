@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.analysis.linearscan import linear_scan_gaps
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -40,8 +41,11 @@ class AngrLike(BaselineTool):
     def __init__(self, options: AngrOptions | None = None):
         self.options = options or AngrOptions()
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
         options = self.options
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
 
         seeds = self._fde_starts(image) | self._symbol_starts(image)
@@ -50,7 +54,7 @@ class AngrLike(BaselineTool):
         if not options.use_recursion:
             return result
 
-        disassembler, disassembly, starts = self._recursive(image, seeds)
+        disassembler, disassembly, starts = self._recursive(image, seeds, context)
         result.disassembly = disassembly
         result.record_stage("recursion", starts - result.function_starts)
 
@@ -65,7 +69,9 @@ class AngrLike(BaselineTool):
         if options.function_matching:
             matches = {
                 m
-                for m in self._prologue_matches(image, self._gaps(image, disassembly))
+                for m in self._prologue_matches(
+                    image, self._gaps(image, disassembly), context
+                )
                 if m not in result.function_starts
             }
             grown = self._grow_from_matches(image, disassembler, disassembly, matches)
@@ -76,7 +82,9 @@ class AngrLike(BaselineTool):
             result.record_stage("tailcall", added - result.function_starts)
 
         if options.linear_scan:
-            scanned = linear_scan_gaps(image, self._gaps(image, disassembly))
+            scanned = linear_scan_gaps(
+                image, self._gaps(image, disassembly), context=context
+            )
             result.record_stage("scan", scanned - result.function_starts)
 
         return result

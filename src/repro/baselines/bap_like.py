@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.analysis.linearscan import linear_scan_gaps
 from repro.analysis.prologue import PROLOGUE_PATTERNS
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -19,30 +20,30 @@ from repro.elf.image import BinaryImage
 class BapLike(BaselineTool):
     name = "bap"
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
         seeds = {image.entry_point} if image.entry_point else set()
         result.record_stage("seeds", {s for s in seeds if image.is_executable_address(s)})
 
-        disassembler, disassembly, starts = self._recursive(image, result.function_starts)
+        disassembler, disassembly, starts = self._recursive(
+            image, result.function_starts, context
+        )
         result.disassembly = disassembly
         result.record_stage("recursion", starts - result.function_starts)
 
         # Signature matching over the whole text section (not just gaps).
         matches: set[int] = set()
-        for section in image.executable_sections:
-            data = section.data
-            for pattern in PROLOGUE_PATTERNS:
-                offset = data.find(pattern)
-                while offset != -1:
-                    address = section.address + offset
-                    if address not in result.function_starts:
-                        matches.add(address)
-                    offset = data.find(pattern, offset + 1)
+        for positions in context.text_pattern_matches(PROLOGUE_PATTERNS).values():
+            matches.update(
+                address for address in positions if address not in result.function_starts
+            )
         grown = self._grow_from_matches(image, disassembler, disassembly, matches)
         result.record_stage("signatures", grown - result.function_starts)
 
         # Speculative disassembly of what is still unexplored.
-        scanned = linear_scan_gaps(image, self._gaps(image, disassembly))
+        scanned = linear_scan_gaps(image, self._gaps(image, disassembly), context=context)
         result.record_stage("speculative", scanned - result.function_starts)
         return result

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 from repro.analysis.gaps import compute_gaps
 from repro.analysis.prologue import match_prologues
@@ -11,25 +12,39 @@ from repro.analysis.result import DisassemblyResult
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import AnalysisContext
+
 
 class BaselineTool(ABC):
-    """A function-start detector modelled after an existing tool."""
+    """A function-start detector modelled after an existing tool.
+
+    ``detect`` takes an optional shared
+    :class:`~repro.core.context.AnalysisContext`; results are identical with
+    and without one, but a context shared across tools (and strategy-ladder
+    rungs) decodes every instruction of the binary at most once.
+    """
 
     #: short name used in tables (overridden by subclasses)
     name: str = "baseline"
 
     @abstractmethod
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: "AnalysisContext | None" = None
+    ) -> DetectionResult:
         """Detect function starts in ``image``."""
 
     # ------------------------------------------------------------------
     # Shared building blocks
     # ------------------------------------------------------------------
     def _recursive(
-        self, image: BinaryImage, seeds: set[int]
+        self,
+        image: BinaryImage,
+        seeds: set[int],
+        context: "AnalysisContext | None" = None,
     ) -> tuple[RecursiveDisassembler, DisassemblyResult, set[int]]:
         """Run recursive disassembly and return the grown start set."""
-        disassembler = RecursiveDisassembler(image)
+        disassembler = RecursiveDisassembler(image, context=context)
         seeds = {s for s in seeds if image.is_executable_address(s)}
         result = disassembler.disassemble(seeds)
         starts = set(seeds)
@@ -65,9 +80,37 @@ class BaselineTool(ABC):
 
     @staticmethod
     def _prologue_matches(
-        image: BinaryImage, gaps: list[tuple[int, int]]
+        image: BinaryImage,
+        gaps: list[tuple[int, int]],
+        context: "AnalysisContext | None" = None,
     ) -> set[int]:
-        return match_prologues(image, gaps)
+        return match_prologues(image, gaps, context=context)
+
+    @staticmethod
+    def _aligned_pointer_sweep(
+        image: BinaryImage,
+        result: DetectionResult,
+        disassembly: DisassemblyResult,
+        context: "AnalysisContext | None" = None,
+    ) -> set[int]:
+        """Conservative pointer sweep of 8-byte-aligned data-section slots.
+
+        Shared by the IDA- and Binary-Ninja-style models: executable targets
+        of aligned slots, minus already-detected starts and pointers into
+        code already attributed to a function (e.g. jump-table entries).
+        """
+        if context is not None:
+            candidates = context.aligned_data_pointers()
+        else:
+            from repro.core.context import scan_aligned_pointers
+
+            candidates = scan_aligned_pointers(image)
+        return {
+            value
+            for value in candidates
+            if value not in result.function_starts
+            and value not in disassembly.instructions
+        }
 
     @staticmethod
     def _reference_targets(result: DisassemblyResult) -> set[int]:

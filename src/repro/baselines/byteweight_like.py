@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.analysis.prologue import PROLOGUE_PATTERNS
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -39,15 +40,13 @@ class ByteWeightLike(BaselineTool):
         if learned:
             self.patterns = learned[:64]
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
         matches: set[int] = set()
-        for section in image.executable_sections:
-            data = section.data
-            for pattern in self.patterns:
-                offset = data.find(pattern)
-                while offset != -1:
-                    matches.add(section.address + offset)
-                    offset = data.find(pattern, offset + 1)
+        for positions in context.text_pattern_matches(self.patterns).values():
+            matches.update(positions)
         result.record_stage("signatures", matches)
         return result

@@ -10,6 +10,7 @@ prologue patterns, recursing from every match (§II-B).
 from __future__ import annotations
 
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -20,13 +21,16 @@ class DyninstLike(BaselineTool):
     #: number of prologue-matching + recursion rounds
     rounds: int = 2
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
         seeds = {image.entry_point} if image.entry_point else set()
         seeds = {s for s in seeds if image.is_executable_address(s)}
         result.record_stage("seeds", seeds)
 
-        disassembler, disassembly, starts = self._recursive(image, seeds)
+        disassembler, disassembly, starts = self._recursive(image, seeds, context)
         result.disassembly = disassembly
         result.record_stage("recursion", starts - result.function_starts)
 
@@ -34,7 +38,7 @@ class DyninstLike(BaselineTool):
             gaps = self._gaps(image, disassembly)
             matches = {
                 m
-                for m in self._prologue_matches(image, gaps)
+                for m in self._prologue_matches(image, gaps, context)
                 if m not in result.function_starts
             }
             if not matches:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.analysis.noreturn import NoreturnAnalysis
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -37,8 +38,11 @@ class GhidraLike(BaselineTool):
     def __init__(self, options: GhidraOptions | None = None):
         self.options = options or GhidraOptions()
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
         options = self.options
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
 
         seeds = self._fde_starts(image) | self._symbol_starts(image)
@@ -47,7 +51,7 @@ class GhidraLike(BaselineTool):
         if not options.use_recursion:
             return result
 
-        disassembler, disassembly, starts = self._recursive(image, seeds)
+        disassembler, disassembly, starts = self._recursive(image, seeds, context)
         result.disassembly = disassembly
         result.record_stage("recursion", starts - result.function_starts)
 
@@ -60,7 +64,9 @@ class GhidraLike(BaselineTool):
             result.record_stage("thunk", added)
 
         if options.function_matching:
-            added = self._strict_function_matching(image, disassembly, result.function_starts)
+            added = self._strict_function_matching(
+                image, disassembly, result.function_starts, context
+            )
             grown = self._grow_from_matches(image, disassembler, disassembly, added)
             result.record_stage("fsig", grown - result.function_starts)
 
@@ -118,11 +124,15 @@ class GhidraLike(BaselineTool):
         return added
 
     def _strict_function_matching(
-        self, image: BinaryImage, disassembly, starts: set[int]
+        self,
+        image: BinaryImage,
+        disassembly,
+        starts: set[int],
+        context: AnalysisContext | None = None,
     ) -> set[int]:
         """GHIDRA's matcher only fires on aligned matches right after padding."""
         gaps = self._gaps(image, disassembly)
-        matches = self._prologue_matches(image, gaps)
+        matches = self._prologue_matches(image, gaps, context)
         strict: set[int] = set()
         for address in matches:
             if address % 16 != 0 or address in starts:

@@ -11,6 +11,7 @@ code (Table III).
 from __future__ import annotations
 
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -18,36 +19,30 @@ from repro.elf.image import BinaryImage
 class IdaLike(BaselineTool):
     name = "ida"
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
         seeds = {image.entry_point} if image.entry_point else set()
         result.record_stage("seeds", {s for s in seeds if image.is_executable_address(s)})
 
-        disassembler, disassembly, starts = self._recursive(image, result.function_starts)
+        disassembler, disassembly, starts = self._recursive(
+            image, result.function_starts, context
+        )
         result.disassembly = disassembly
         result.record_stage("recursion", starts - result.function_starts)
 
         # Data-section pointer scan (aligned slots only, unlike §IV-E's
         # deliberately exhaustive sliding window).
-        pointer_targets: set[int] = set()
-        for section in image.data_sections:
-            data = section.data
-            for offset in range(0, len(data) - 7, 8):
-                value = int.from_bytes(data[offset : offset + 8], "little")
-                if not image.is_executable_address(value) or value in result.function_starts:
-                    continue
-                # Pointers into code already attributed to a function (e.g.
-                # jump-table entries) do not create new functions.
-                if value in disassembly.instructions:
-                    continue
-                pointer_targets.add(value)
+        pointer_targets = self._aligned_pointer_sweep(image, result, disassembly, context)
         grown = self._grow_from_matches(image, disassembler, disassembly, pointer_targets)
         result.record_stage("pointers", grown - result.function_starts)
 
         # Conservative prologue matching: aligned, preceded by padding.
         gaps = self._gaps(image, disassembly)
         strict: set[int] = set()
-        for address in self._prologue_matches(image, gaps):
+        for address in self._prologue_matches(image, gaps, context):
             if address in result.function_starts or address % 16 != 0:
                 continue
             try:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.linearscan import linear_scan_gaps
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -17,28 +18,22 @@ from repro.elf.image import BinaryImage
 class BinaryNinjaLike(BaselineTool):
     name = "ninja"
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
         seeds = {image.entry_point} if image.entry_point else set()
         result.record_stage("seeds", {s for s in seeds if image.is_executable_address(s)})
 
-        disassembler, disassembly, starts = self._recursive(image, result.function_starts)
+        disassembler, disassembly, starts = self._recursive(
+            image, result.function_starts, context
+        )
         result.disassembly = disassembly
         result.record_stage("recursion", starts - result.function_starts)
 
         # Pointer sweep over data sections (aligned slots).
-        pointer_targets: set[int] = set()
-        for section in image.data_sections:
-            data = section.data
-            for offset in range(0, len(data) - 7, 8):
-                value = int.from_bytes(data[offset : offset + 8], "little")
-                if not image.is_executable_address(value) or value in result.function_starts:
-                    continue
-                # Pointers into code already attributed to a function (e.g.
-                # jump-table entries) do not create new functions.
-                if value in disassembly.instructions:
-                    continue
-                pointer_targets.add(value)
+        pointer_targets = self._aligned_pointer_sweep(image, result, disassembly, context)
         grown = self._grow_from_matches(image, disassembler, disassembly, pointer_targets)
         result.record_stage("pointers", grown - result.function_starts)
 
@@ -46,12 +41,12 @@ class BinaryNinjaLike(BaselineTool):
         gaps = self._gaps(image, disassembly)
         matches = {
             m
-            for m in self._prologue_matches(image, gaps)
+            for m in self._prologue_matches(image, gaps, context)
             if m not in result.function_starts
         }
         grown = self._grow_from_matches(image, disassembler, disassembly, matches)
         result.record_stage("prologue", grown - result.function_starts)
 
-        scanned = linear_scan_gaps(image, self._gaps(image, disassembly))
+        scanned = linear_scan_gaps(image, self._gaps(image, disassembly), context=context)
         result.record_stage("linear", scanned - result.function_starts)
         return result

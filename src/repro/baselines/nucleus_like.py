@@ -14,6 +14,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import decode_range
@@ -23,9 +24,12 @@ from repro.x86.instruction import Instruction
 class NucleusLike(BaselineTool):
     name = "nucleus"
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
-        instructions = self._linear_sweep(image)
+        instructions = self._linear_sweep(image, context)
         call_targets, components = self._build_cfg(instructions)
 
         starts: set[int] = set()
@@ -43,11 +47,14 @@ class NucleusLike(BaselineTool):
         return result
 
     # ------------------------------------------------------------------
-    def _linear_sweep(self, image: BinaryImage) -> dict[int, Instruction]:
+    def _linear_sweep(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> dict[int, Instruction]:
+        cache = context.decode_cache if context is not None else None
         instructions: dict[int, Instruction] = {}
         for section in image.executable_sections:
             for insn in decode_range(
-                section.data, section.address, stop_on_error=False
+                section.data, section.address, stop_on_error=False, cache=cache
             ):
                 instructions[insn.address] = insn
         return instructions

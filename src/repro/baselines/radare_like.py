@@ -9,6 +9,7 @@ pointers, so address-taken-only functions are missed (§VI, Table III).
 from __future__ import annotations
 
 from repro.baselines.base import BaselineTool
+from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -16,19 +17,22 @@ from repro.elf.image import BinaryImage
 class Radare2Like(BaselineTool):
     name = "radare2"
 
-    def detect(self, image: BinaryImage) -> DetectionResult:
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
         seeds = {image.entry_point} if image.entry_point else set()
         seeds = {s for s in seeds if image.is_executable_address(s)}
         result.record_stage("seeds", seeds)
 
-        disassembler, disassembly, starts = self._recursive(image, seeds)
+        disassembler, disassembly, starts = self._recursive(image, seeds, context)
         result.disassembly = disassembly
         result.record_stage("recursion", starts - result.function_starts)
 
         gaps = self._gaps(image, disassembly)
         matches = set()
-        for address in self._prologue_matches(image, gaps):
+        for address in self._prologue_matches(image, gaps, context):
             if address in result.function_starts:
                 continue
             # radare2 requires the prelude to sit on the function alignment.

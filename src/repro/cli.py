@@ -1,15 +1,19 @@
 """Command-line interface: ``fetch-detect``.
 
-Analyses an x86-64 ELF binary with the FETCH pipeline and prints the detected
-function starts, optionally comparing them against the binary's symbol table.
+Analyses one or more x86-64 ELF binaries with the FETCH pipeline and prints
+the detected function starts, optionally comparing them against each
+binary's symbol table.  With several binaries, ``--jobs N`` analyses them in
+parallel; output stays in argument order.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from concurrent.futures import ThreadPoolExecutor
 
-from repro.core import FetchDetector, FetchOptions
+from repro.core import AnalysisContext, FetchDetector, FetchOptions
+from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
 
@@ -22,6 +26,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("binary", help="path to the ELF binary to analyse")
+    parser.add_argument(
+        "more_binaries",
+        nargs="*",
+        metavar="binary",
+        help="additional binaries to analyse (see --jobs)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyse up to N binaries in parallel (default: 1)",
+    )
     parser.add_argument(
         "--no-recursion",
         action="store_true",
@@ -55,19 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _analyse_one(path: str, args: argparse.Namespace) -> tuple[int, list[str], list[str]]:
+    """Analyse ``path``; returns (exit code, stdout lines, stderr lines)."""
+    out: list[str] = []
+    err: list[str] = []
     try:
-        image = BinaryImage.from_file(args.binary)
+        image = BinaryImage.from_file(path)
     except (OSError, ValueError) as error:
-        print(f"error: cannot load {args.binary}: {error}", file=sys.stderr)
-        return 1
+        err.append(f"error: cannot load {path}: {error}")
+        return 1, out, err
 
     if not image.has_eh_frame:
-        print(
+        err.append(
             "warning: binary has no .eh_frame section; FDE-based detection "
-            "will find nothing",
-            file=sys.stderr,
+            "will find nothing"
         )
 
     options = FetchOptions(
@@ -76,10 +94,18 @@ def main(argv: list[str] | None = None) -> int:
         use_pointer_validation=not args.no_xref,
         use_tail_call_analysis=not args.no_tailcall,
     )
-    result = FetchDetector(options).detect(image)
+    context = AnalysisContext(image)
+    result = FetchDetector(options).detect(image, context)
+    out.extend(_render_result(path, image, result, args))
+    return 0, out, err
 
+
+def _render_result(
+    path: str, image: BinaryImage, result: DetectionResult, args: argparse.Namespace
+) -> list[str]:
+    lines: list[str] = []
     starts = sorted(result.function_starts)
-    print(f"# {len(starts)} function starts detected in {args.binary}")
+    lines.append(f"# {len(starts)} function starts detected in {path}")
     stage_of: dict[int, str] = {}
     if args.stages:
         for stage, added in result.added_by_stage.items():
@@ -87,22 +113,43 @@ def main(argv: list[str] | None = None) -> int:
                 stage_of.setdefault(address, stage)
     for address in starts:
         if args.stages:
-            print(f"{address:#x}\t{stage_of.get(address, '?')}")
+            lines.append(f"{address:#x}\t{stage_of.get(address, '?')}")
         else:
-            print(f"{address:#x}")
+            lines.append(f"{address:#x}")
 
     if result.merged_parts:
-        print(f"# merged {len(result.merged_parts)} non-contiguous part(s):")
+        lines.append(f"# merged {len(result.merged_parts)} non-contiguous part(s):")
         for part, parent in sorted(result.merged_parts.items()):
-            print(f"#   {part:#x} -> part of function {parent:#x}")
+            lines.append(f"#   {part:#x} -> part of function {parent:#x}")
 
     if args.compare_symbols and image.has_symbols:
         symbol_starts = {s.address for s in image.function_symbols}
         detected = set(starts)
-        print(f"# symbols: {len(symbol_starts)}, detected: {len(detected)}")
-        print(f"#   symbols not detected : {len(symbol_starts - detected)}")
-        print(f"#   detected not in symbols: {len(detected - symbol_starts)}")
-    return 0
+        lines.append(f"# symbols: {len(symbol_starts)}, detected: {len(detected)}")
+        lines.append(f"#   symbols not detected : {len(symbol_starts - detected)}")
+        lines.append(f"#   detected not in symbols: {len(detected - symbol_starts)}")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    paths = [args.binary, *args.more_binaries]
+    jobs = max(1, args.jobs)
+
+    if jobs > 1 and len(paths) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(lambda p: _analyse_one(p, args), paths))
+    else:
+        outcomes = [_analyse_one(path, args) for path in paths]
+
+    status = 0
+    for code, out, err in outcomes:
+        status = max(status, code)
+        for line in err:
+            print(line, file=sys.stderr)
+        for line in out:
+            print(line)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

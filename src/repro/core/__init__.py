@@ -9,15 +9,22 @@ This package implements the paper's contribution:
 * :mod:`repro.core.pipeline` — the full FETCH pipeline (§VI): FDE extraction,
   safe recursive disassembly, function-pointer validation, FDE-error fixing,
   with every stage individually switchable so the paper's strategy ladders
-  (Figure 5) can be reproduced.
+  (Figure 5) can be reproduced,
+* :mod:`repro.core.context` — the shared per-binary
+  :class:`~repro.core.context.AnalysisContext` that memoizes decoding, CFA
+  tables and image scans across detector runs.
 """
 
+from repro.core.context import AnalysisContext, ContextStats, DecodeCache
 from repro.core.fde_source import extract_fde_starts, fde_symbol_coverage
 from repro.core.results import DetectionResult
 from repro.core.tailcall import TailCallOutcome, detect_tail_calls_and_merge
 from repro.core.pipeline import FetchDetector, FetchOptions
 
 __all__ = [
+    "AnalysisContext",
+    "ContextStats",
+    "DecodeCache",
     "extract_fde_starts",
     "fde_symbol_coverage",
     "DetectionResult",

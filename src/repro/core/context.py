@@ -1,0 +1,334 @@
+"""Shared per-binary analysis state: decode-once caching across detectors.
+
+Running the paper's evaluation means pointing many detectors — the FETCH
+pipeline plus nine baseline tool models, each at several strategy-ladder
+rungs — at the *same* binary.  Every one of those runs decodes largely the
+same instructions, evaluates the same CFI programs and rescans the same data
+sections.  :class:`AnalysisContext` is the per-:class:`BinaryImage` object
+that owns all of that derived state, in the spirit of angr's knowledge base
+or Ghidra's program database:
+
+* a memoized instruction-decode cache keyed by virtual address (the decode of
+  an address is a pure function of the image bytes, so the cache is safe to
+  share between arbitrary consumers);
+* memoized calling-convention verdicts (§IV-E entry checks);
+* evaluated CFA row tables per FDE (§V-B stack heights);
+* standalone noreturn facts per function start;
+* the image-wide scan products the gap probers reuse: the §IV-E sliding
+  window pointer super-set over data sections, the aligned pointer sweep, and
+  per-pattern prologue match positions over the executable sections;
+* memoized ROP-gadget counts and stack-height analyses.
+
+Only state that is *order-independent* — a pure function of the image — is
+cached here, which is what guarantees that a detector produces byte-identical
+results with a shared context and with a fresh one (enforced by
+``tests/test_analysis_context.py``).  Per-run state such as recursive
+traversal worklists stays inside the consumers.
+
+A context is not thread-safe; the parallel corpus evaluation in
+:mod:`repro.eval.runner` keeps one context per binary and never shares one
+binary between workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.dwarf.cfa_table import CfaTable, build_cfa_table
+from repro.dwarf.structs import FdeRecord
+from repro.elf.image import BinaryImage
+from repro.x86.disassembler import DecodeError, decode_instruction
+from repro.x86.instruction import Instruction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.recursive import RecursiveDisassembler
+
+
+class DecodeCache(dict):
+    """``address -> Instruction | None`` map with hit/miss counters.
+
+    ``None`` records a remembered decode failure.  All dict operations stay
+    at C speed — the counters are maintained explicitly by
+    :meth:`AnalysisContext.decode`, the bookkeeping access path; bulk
+    consumers (recursive traversal, linear sweeps) share the dict directly
+    and show up in :attr:`AnalysisContext.stats` via the cache size instead.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class ContextStats:
+    """Aggregate cache statistics, for benchmark records and tests."""
+
+    decode_hits: int = 0
+    decode_misses: int = 0
+    cached_instructions: int = 0
+    cached_functions: int = 0
+    cached_cfa_tables: int = 0
+    cached_callconv_checks: int = 0
+    cached_noreturn_facts: int = 0
+
+    @property
+    def decode_hit_ratio(self) -> float:
+        total = self.decode_hits + self.decode_misses
+        return self.decode_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "decode_hits": self.decode_hits,
+            "decode_misses": self.decode_misses,
+            "decode_hit_ratio": round(self.decode_hit_ratio, 4),
+            "cached_instructions": self.cached_instructions,
+            "cached_functions": self.cached_functions,
+            "cached_cfa_tables": self.cached_cfa_tables,
+            "cached_callconv_checks": self.cached_callconv_checks,
+            "cached_noreturn_facts": self.cached_noreturn_facts,
+        }
+
+
+class AnalysisContext:
+    """Memoized analysis state for one :class:`BinaryImage`."""
+
+    def __init__(self, image: BinaryImage):
+        self.image = image
+        #: the shared decode memo; safe to hand to ``decode_instruction(cache=...)``
+        self.decode_cache = DecodeCache()
+        #: canonical fully-explored functions, keyed by start address.  Only
+        #: assumption-free (order-independent) explorations are stored here —
+        #: see :class:`repro.analysis.recursive.RecursiveDisassembler`.
+        self.function_cache: dict[int, object] = {}
+        #: noreturn facts for every entry of :attr:`function_cache`
+        self.noreturn_facts: dict[int, bool] = {}
+        self._callconv: dict[tuple[int, int], bool] = {}
+        self._cfa_tables: dict[tuple[int, int], CfaTable] = {}
+        self._noreturn: dict[int, bool] = {}
+        self._data_pointers: set[int] | None = None
+        self._aligned_pointers: set[int] | None = None
+        self._text_matches: dict[tuple[bytes, ...], dict[bytes, list[int]]] = {}
+        self._gadget_counts: dict[tuple[int, int], int] = {}
+        self._stack_heights: dict[tuple[str, int, frozenset[int]], dict[int, int | None]] = {}
+
+    # ------------------------------------------------------------------
+    # Instruction decoding
+    # ------------------------------------------------------------------
+    def decode(self, address: int) -> Instruction | None:
+        """Decode the instruction at ``address``, memoized.
+
+        Returns ``None`` both for undecodable bytes and for addresses outside
+        executable sections — the distinction never matters to consumers, all
+        of which treat either case as "not code".
+        """
+        cache = self.decode_cache
+        try:
+            hit = cache[address]
+        except KeyError:
+            pass
+        else:
+            cache.hits += 1
+            return hit
+        cache.misses += 1
+        section = self.image.section_containing(address)
+        insn: Instruction | None
+        if section is None or not section.is_executable:
+            insn = None
+        else:
+            try:
+                insn = decode_instruction(section.data, address - section.address, address)
+            except DecodeError:
+                insn = None
+        cache[address] = insn
+        return insn
+
+    # ------------------------------------------------------------------
+    # Pure per-address facts
+    # ------------------------------------------------------------------
+    def calling_convention_ok(
+        self, address: int, *, max_instructions: int | None = None
+    ) -> bool:
+        """Memoized §IV-E calling-convention check at ``address``."""
+        from repro.analysis.callconv import _DEFAULT_LIMIT, check_entry_convention
+
+        if max_instructions is None:
+            max_instructions = _DEFAULT_LIMIT
+        key = (address, max_instructions)
+        verdict = self._callconv.get(key)
+        if verdict is None:
+            verdict = check_entry_convention(
+                self.image, address, max_instructions=max_instructions, decode=self.decode
+            )
+            self._callconv[key] = verdict
+        return verdict
+
+    def cfa_table(self, fde: FdeRecord) -> CfaTable:
+        """The evaluated CFI row table of ``fde``, memoized per PC range."""
+        key = (fde.pc_begin, fde.pc_end)
+        table = self._cfa_tables.get(key)
+        if table is None:
+            table = build_cfa_table(fde)
+            self._cfa_tables[key] = table
+        return table
+
+    def is_noreturn(self, start: int) -> bool:
+        """Standalone noreturn fact for the function starting at ``start``.
+
+        Each query runs on a fresh disassembler (decoding and canonical
+        functions still come from this context), so the answer never depends
+        on what was queried before.  Only assumption-free facts — functions
+        off call cycles — are memoized; a cycle member's verdict depends on
+        where its exploration entered the cycle, so it is recomputed from
+        the same fresh state every time instead of being frozen.
+        """
+        fact = self.noreturn_facts.get(start)
+        if fact is not None:
+            return fact
+        fact = self._noreturn.get(start)
+        if fact is not None:
+            return fact
+        from repro.analysis.recursive import RecursiveDisassembler
+
+        disassembler = RecursiveDisassembler(self.image, context=self)
+        fact = disassembler.is_noreturn(start)
+        if start not in disassembler._tainted:
+            self._noreturn[start] = fact
+        return fact
+
+    def gadget_count(self, address: int, *, window: int | None = None) -> int:
+        """Memoized ROP-gadget count at ``address`` (§V-A measurement)."""
+        from repro.analysis.gadgets import _MAX_WINDOW, count_rop_gadgets
+
+        if window is None:
+            window = _MAX_WINDOW
+        key = (address, window)
+        count = self._gadget_counts.get(key)
+        if count is None:
+            count = count_rop_gadgets(self.image, address, window=window)
+            self._gadget_counts[key] = count
+        return count
+
+    def stack_heights(self, flavor: str, function) -> dict[int, int | None]:
+        """Memoized stack-height analysis of a disassembled function.
+
+        The key includes the exact instruction address set: instructions at
+        given addresses are a pure function of the image bytes, so two
+        functions with the same start and address set analyse identically.
+        """
+        from repro.analysis.stackheight import StackHeightAnalysis
+
+        key = (flavor, function.start, frozenset(function.instructions))
+        heights = self._stack_heights.get(key)
+        if heights is None:
+            heights = StackHeightAnalysis(flavor).analyze(function)
+            self._stack_heights[key] = heights
+        return heights
+
+    # ------------------------------------------------------------------
+    # Image-wide scan products
+    # ------------------------------------------------------------------
+    def data_pointer_candidates(self) -> set[int]:
+        """The §IV-E sliding-window pointer super-set over data sections.
+
+        Every consecutive 8 bytes of every data section, kept when the value
+        lands in executable code.  This is the image-only part of
+        :func:`repro.analysis.xrefs.collect_potential_pointers`.
+        """
+        if self._data_pointers is None:
+            self._data_pointers = scan_data_pointers(self.image)
+        return self._data_pointers
+
+    def aligned_data_pointers(self) -> set[int]:
+        """Executable targets of 8-byte-aligned data-section slots.
+
+        The conservative pointer sweep the IDA- and Binary-Ninja-style
+        baselines run, before their per-run filtering.
+        """
+        if self._aligned_pointers is None:
+            self._aligned_pointers = scan_aligned_pointers(self.image)
+        return self._aligned_pointers
+
+    def text_pattern_matches(
+        self, patterns: Iterable[bytes]
+    ) -> dict[bytes, list[int]]:
+        """All occurrences of byte ``patterns`` in the executable sections.
+
+        Returns ``{pattern: sorted addresses}`` where each occurrence lies
+        fully inside one section.  Shared by whole-text signature scanners
+        (BAP/ByteWeight models) and, filtered down to gaps, by
+        :func:`repro.analysis.prologue.match_prologues`.
+        """
+        key = tuple(patterns)
+        matches = self._text_matches.get(key)
+        if matches is None:
+            matches = {pattern: [] for pattern in key}
+            for section in self.image.executable_sections:
+                data = section.data
+                for pattern in key:
+                    offset = data.find(pattern)
+                    while offset != -1:
+                        matches[pattern].append(section.address + offset)
+                        offset = data.find(pattern, offset + 1)
+            for positions in matches.values():
+                positions.sort()
+            self._text_matches[key] = matches
+        return matches
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> ContextStats:
+        return ContextStats(
+            decode_hits=self.decode_cache.hits,
+            decode_misses=self.decode_cache.misses,
+            cached_instructions=len(self.decode_cache),
+            cached_functions=len(self.function_cache),
+            cached_cfa_tables=len(self._cfa_tables),
+            cached_callconv_checks=len(self._callconv),
+            cached_noreturn_facts=len(self.noreturn_facts) + len(self._noreturn),
+        )
+
+
+def scan_data_pointers(image: BinaryImage) -> set[int]:
+    """Sliding-window scan: every 8-byte window of every data section whose
+    value lands in executable code (§IV-E's deliberately exhaustive
+    super-set)."""
+    candidates: set[int] = set()
+    for section in image.data_sections:
+        data = section.data
+        for offset in range(0, max(len(data) - 7, 0)):
+            value = int.from_bytes(data[offset : offset + 8], "little")
+            if image.is_executable_address(value):
+                candidates.add(value)
+    return candidates
+
+
+def scan_aligned_pointers(image: BinaryImage) -> set[int]:
+    """Executable targets of 8-byte-aligned data-section slots."""
+    pointers: set[int] = set()
+    for section in image.data_sections:
+        data = section.data
+        for offset in range(0, len(data) - 7, 8):
+            value = int.from_bytes(data[offset : offset + 8], "little")
+            if image.is_executable_address(value):
+                pointers.add(value)
+    return pointers
+
+
+def context_for(image: BinaryImage, context: AnalysisContext | None) -> AnalysisContext:
+    """Return ``context`` when given, else a fresh context for ``image``.
+
+    The helper every ``detect(image, context=None)`` entry point uses, with a
+    guard against accidentally mixing state across binaries.
+    """
+    if context is None:
+        return AnalysisContext(image)
+    if context.image is not image:
+        raise ValueError(
+            f"context was built for {context.image.name!r}, not {image.name!r}"
+        )
+    return context

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.analysis.callconv import satisfies_calling_convention
 from repro.analysis.recursive import RecursiveDisassembler
 from repro.analysis.xrefs import collect_potential_pointers, validate_function_pointer
+from repro.core.context import AnalysisContext, context_for
 from repro.core.fde_source import extract_fde_starts
 from repro.core.results import DetectionResult
 from repro.core.tailcall import detect_tail_calls_and_merge
@@ -53,9 +54,17 @@ class FetchDetector:
         self.options = options or FetchOptions()
 
     # ------------------------------------------------------------------
-    def detect(self, image: BinaryImage) -> DetectionResult:
-        """Run the configured pipeline stages on ``image``."""
+    def detect(
+        self, image: BinaryImage, context: AnalysisContext | None = None
+    ) -> DetectionResult:
+        """Run the configured pipeline stages on ``image``.
+
+        ``context`` shares decoded instructions, CFA tables and image scans
+        with other detector runs over the same image; omitting it gives the
+        run a private context with identical results.
+        """
         options = self.options
+        context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
 
         # Stage 1: FDE starts (plus symbols when requested).
@@ -69,7 +78,7 @@ class FetchDetector:
             invalid_fde_starts = {
                 address
                 for address in seeds
-                if not satisfies_calling_convention(image, address)
+                if not satisfies_calling_convention(image, address, context=context)
             }
         result.record_stage("fde", seeds - invalid_fde_starts, set())
         if invalid_fde_starts:
@@ -79,7 +88,7 @@ class FetchDetector:
             return result
 
         # Stage 2: safe recursive disassembly.
-        disassembler = RecursiveDisassembler(image)
+        disassembler = RecursiveDisassembler(image, context=context)
         disassembly = disassembler.disassemble(result.function_starts)
         result.disassembly = disassembly
         recursion_added = {
@@ -92,12 +101,12 @@ class FetchDetector:
         # Stage 3: function-pointer collection and validation.
         validated_pointers: set[int] = set()
         if options.use_pointer_validation:
-            candidates = collect_potential_pointers(image, disassembly)
+            candidates = collect_potential_pointers(image, disassembly, context=context)
             for candidate in sorted(candidates):
                 if candidate in result.function_starts:
                     continue
                 if validate_function_pointer(
-                    image, candidate, disassembly, result.function_starts
+                    image, candidate, disassembly, result.function_starts, context=context
                 ):
                     validated_pointers.add(candidate)
             if validated_pointers:
@@ -115,6 +124,7 @@ class FetchDetector:
                 disassembly,
                 result.function_starts,
                 extra_references=validated_pointers,
+                context=context,
             )
             new_tail_targets = outcome.added_starts - result.function_starts
             if new_tail_targets:

@@ -22,12 +22,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.callconv import satisfies_calling_convention
 from repro.analysis.result import DisassemblyResult
 from repro.analysis.xrefs import collect_potential_pointers
 from repro.dwarf.cfa_table import CfaTable, build_cfa_table
 from repro.dwarf.structs import FdeRecord
 from repro.elf.image import BinaryImage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.context import AnalysisContext
 
 
 @dataclass
@@ -59,6 +64,7 @@ def detect_tail_calls_and_merge(
     require_zero_stack_height: bool = True,
     require_calling_convention: bool = True,
     require_unreferenced_target: bool = True,
+    context: "AnalysisContext | None" = None,
 ) -> TailCallOutcome:
     """Run Algorithm 1.
 
@@ -77,14 +83,16 @@ def detect_tail_calls_and_merge(
     """
     outcome = TailCallOutcome()
     fdes_by_start = {fde.pc_begin: fde for fde in image.fdes}
-    references = _collect_references(image, disassembly, extra_references or set())
+    references = _collect_references(
+        image, disassembly, extra_references or set(), context=context
+    )
 
     for start in sorted(function_starts):
         function = disassembly.functions.get(start)
         fde = fdes_by_start.get(start)
         if function is None or fde is None:
             continue
-        table = build_cfa_table(fde)
+        table = context.cfa_table(fde) if context is not None else build_cfa_table(fde)
         if not table.has_complete_stack_height:
             outcome.skipped_functions.add(start)
             continue
@@ -112,7 +120,7 @@ def detect_tail_calls_and_merge(
                     or not require_unreferenced_target
                 )
                 convention_ok = (
-                    satisfies_calling_convention(image, target)
+                    satisfies_calling_convention(image, target, context=context)
                     or not require_calling_convention
                 )
                 if only_local_jumps and convention_ok:
@@ -143,7 +151,11 @@ def _height_at(table: CfaTable, address: int, fde: FdeRecord) -> int | None:
 
 
 def _collect_references(
-    image: BinaryImage, disassembly: DisassemblyResult, extra: set[int]
+    image: BinaryImage,
+    disassembly: DisassemblyResult,
+    extra: set[int],
+    *,
+    context: "AnalysisContext | None" = None,
 ) -> dict[int, list[tuple[str, int]]]:
     """Map target address -> list of (kind, source) references."""
     references: dict[int, list[tuple[str, int]]] = {}
@@ -164,7 +176,7 @@ def _collect_references(
         if image.is_executable_address(constant):
             add(constant, "constant", -1)
 
-    for pointer in collect_potential_pointers(image, disassembly):
+    for pointer in collect_potential_pointers(image, disassembly, context=context):
         add(pointer, "data", -1)
 
     for address in extra:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.elf import constants as C
@@ -106,8 +107,35 @@ class ElfFile:
         return None
 
     def section_containing(self, address: int) -> Section | None:
-        """The allocated section containing ``address``, if any."""
-        for section in self.sections:
-            if section.is_allocated and section.contains(address):
-                return section
+        """The allocated section containing ``address``, if any.
+
+        Lookups are the innermost operation of every analysis, so the
+        allocated sections are indexed once (sorted by address, binary
+        search) on first use; mutate :attr:`sections` only before analysis
+        starts.  Overlapping sections — which binary search cannot serve —
+        keep the original first-in-file-order linear scan.
+        """
+        index = self.__dict__.get("_address_index")
+        if index is None:
+            allocated = sorted(
+                (s for s in self.sections if s.is_allocated),
+                key=lambda s: s.address,
+            )
+            disjoint = all(
+                previous.end_address <= current.address
+                for previous, current in zip(allocated, allocated[1:])
+            )
+            index = (
+                ([s.address for s in allocated], allocated) if disjoint else False
+            )
+            self.__dict__["_address_index"] = index
+        if index is False:
+            for section in self.sections:
+                if section.is_allocated and section.contains(address):
+                    return section
+            return None
+        starts, allocated = index
+        position = bisect_right(starts, address) - 1
+        if position >= 0 and address < allocated[position].end_address:
+            return allocated[position]
         return None

@@ -7,7 +7,9 @@ in :mod:`repro.eval.runner` and a renderer in :mod:`repro.eval.tables`; the
 
 from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
 from repro.eval.runner import (
+    CorpusEvaluator,
     StrategyOutcome,
+    run_strategy_ladder,
     run_figure5a,
     run_figure5b,
     run_figure5c,
@@ -32,9 +34,11 @@ from repro.eval.tables import (
 
 __all__ = [
     "BinaryMetrics",
+    "CorpusEvaluator",
     "CorpusMetrics",
     "compute_metrics",
     "StrategyOutcome",
+    "run_strategy_ladder",
     "run_figure5a",
     "run_figure5b",
     "run_figure5c",

@@ -4,24 +4,218 @@ Each ``run_*`` function takes a corpus of synthetic binaries (see
 :mod:`repro.synth.corpus`) and returns plain data structures; the renderers
 in :mod:`repro.eval.tables` turn them into the text tables the benchmarks
 print and EXPERIMENTS.md records.
+
+All corpus-level runners accept an optional :class:`CorpusEvaluator`, which
+owns one shared :class:`~repro.core.context.AnalysisContext` per binary —
+decoded instructions, CFA tables and image scans are then computed once and
+reused by every detector, every strategy-ladder rung and every study that
+touches the same binary.  The evaluator also fans per-binary work out over a
+thread pool (``jobs``) and can emit machine-readable ``BENCH_*.json`` timing
+records for the performance trajectory.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import threading
 import time
 from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.analysis.gadgets import count_rop_gadgets
 from repro.analysis.recursive import RecursiveDisassembler
 from repro.analysis.stackheight import StackHeightAnalysis
 from repro.baselines import AngrLike, AngrOptions, GhidraLike, GhidraOptions, all_comparison_tools
 from repro.core import FetchDetector, FetchOptions
+from repro.core.context import AnalysisContext
 from repro.core.fde_source import extract_fde_starts, fde_symbol_coverage
-from repro.dwarf.cfa_table import build_cfa_table
 from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
 from repro.synth.compiler import SyntheticBinary
 from repro.synth.profiles import WildProfile
+
+
+# ----------------------------------------------------------------------
+# Shared-context corpus evaluation
+# ----------------------------------------------------------------------
+
+class CorpusEvaluator:
+    """Decode-once, optionally parallel evaluation over a corpus.
+
+    One :class:`AnalysisContext` is kept per binary and handed to every
+    detector run, so the corpus is decoded once no matter how many tools or
+    ladder rungs are evaluated.  ``jobs > 1`` fans per-binary work out over a
+    thread pool; a binary is never processed by two workers at once within a
+    single :meth:`map` call, and per-binary results are returned (and
+    aggregated) in corpus order, so parallel and serial evaluation produce
+    identical metrics.
+
+    ``bench_dir`` enables :meth:`write_bench`, which records the wall-clock
+    timings collected by :meth:`timed` as ``BENCH_<name>.json``.
+
+    ``share_contexts=False`` hands out a *fresh* context on every
+    :meth:`context_for` call instead — the pre-context behaviour where each
+    detector run decodes from scratch.  It exists so benchmarks can measure
+    the before/after of decode-once sharing; results are identical either
+    way.
+    """
+
+    def __init__(
+        self,
+        corpus: Sequence[SyntheticBinary],
+        *,
+        jobs: int = 1,
+        bench_dir: str | os.PathLike | None = None,
+        share_contexts: bool = True,
+    ):
+        self.corpus = list(corpus)
+        self.jobs = max(1, int(jobs))
+        self.bench_dir = Path(bench_dir) if bench_dir is not None else None
+        self.share_contexts = share_contexts
+        self.timings: dict[str, float] = {}
+        self._contexts: dict[int, AnalysisContext] = {}
+        self._lock = threading.Lock()
+
+    # -- contexts -------------------------------------------------------
+    def context_for(self, binary: SyntheticBinary) -> AnalysisContext:
+        """The shared context of ``binary`` (created on first use).
+
+        Contexts stay alive for the evaluator's lifetime — that is what
+        makes ladder rungs and successive studies share work.  A context can
+        hold an :class:`~repro.x86.instruction.Instruction` for nearly every
+        text byte once a linear-sweep detector has run, so long-lived
+        evaluators over large corpora should :meth:`release` binaries whose
+        evaluation is finished.
+        """
+        image = getattr(binary, "image", binary)
+        if not self.share_contexts:
+            return AnalysisContext(image)
+        key = id(image)
+        with self._lock:
+            context = self._contexts.get(key)
+            if context is None:
+                context = AnalysisContext(image)
+                self._contexts[key] = context
+        return context
+
+    def release(self, binary: SyntheticBinary | None = None) -> None:
+        """Drop the cached context of ``binary`` (or all of them).
+
+        Purely a memory-footprint knob: the next :meth:`context_for` call
+        simply rebuilds a fresh context, so results are unaffected.
+        """
+        with self._lock:
+            if binary is None:
+                self._contexts.clear()
+            else:
+                self._contexts.pop(id(getattr(binary, "image", binary)), None)
+
+    def context_stats(self) -> dict[str, float | int]:
+        """Aggregate cache statistics over every context built so far."""
+        totals: dict[str, float | int] = defaultdict(int)
+        for context in self._contexts.values():
+            for key, value in context.stats().as_dict().items():
+                if key != "decode_hit_ratio":
+                    totals[key] += value
+        hits = totals.get("decode_hits", 0)
+        misses = totals.get("decode_misses", 0)
+        totals["decode_hit_ratio"] = round(hits / (hits + misses), 4) if hits + misses else 0.0
+        totals["contexts"] = len(self._contexts)
+        return dict(totals)
+
+    # -- fan-out --------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[SyntheticBinary, AnalysisContext], Any],
+        items: Iterable[SyntheticBinary] | None = None,
+    ) -> list[Any]:
+        """``fn(binary, context)`` over ``items`` (default: the corpus).
+
+        Results come back in input order regardless of ``jobs``.
+        """
+        binaries = self.corpus if items is None else list(items)
+        if self.jobs <= 1 or len(binaries) <= 1:
+            return [fn(binary, self.context_for(binary)) for binary in binaries]
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(lambda b: fn(b, self.context_for(b)), binaries))
+
+    def run_detector(
+        self,
+        detector_factory: Callable[[], Any],
+        items: Iterable[SyntheticBinary] | None = None,
+    ) -> CorpusMetrics:
+        """Run one detector (a fresh instance per binary) over the corpus."""
+
+        def one(binary: SyntheticBinary, context: AnalysisContext) -> BinaryMetrics:
+            result = detector_factory().detect(binary.image, context)
+            return compute_metrics(binary.ground_truth, result.function_starts)
+
+        metrics = CorpusMetrics()
+        for binary_metrics in self.map(one, items):
+            metrics.add(binary_metrics)
+        return metrics
+
+    def fde_only_metrics(
+        self, items: Iterable[SyntheticBinary] | None = None
+    ) -> CorpusMetrics:
+        """The FDE-only rung shared by every Figure 5 ladder."""
+
+        def one(binary: SyntheticBinary, context: AnalysisContext) -> BinaryMetrics:
+            detected = extract_fde_starts(binary.image)
+            return compute_metrics(binary.ground_truth, detected)
+
+        metrics = CorpusMetrics()
+        for binary_metrics in self.map(one, items):
+            metrics.add(binary_metrics)
+        return metrics
+
+    # -- benchmarking ---------------------------------------------------
+    def timed(self, label: str, fn: Callable[..., Any], *args, **kwargs) -> Any:
+        """Run ``fn`` and record its wall-clock time under ``label``."""
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.timings[label] = time.perf_counter() - start
+        return result
+
+    def write_bench(
+        self,
+        name: str,
+        *,
+        extra: dict[str, Any] | None = None,
+        cache_stats: dict[str, float | int] | None = None,
+    ) -> Path | None:
+        """Write ``BENCH_<name>.json`` with timings, cache and corpus stats.
+
+        ``cache_stats`` substitutes this evaluator's own aggregate when the
+        measured work ran on a different evaluator (as the before/after
+        benchmarks do).  Returns the path written, or ``None`` when no
+        ``bench_dir`` is set.
+        """
+        if self.bench_dir is None:
+            return None
+        record = {
+            "bench": name,
+            "created_unix": round(time.time(), 3),
+            "jobs": self.jobs,
+            "corpus_size": len(self.corpus),
+            "timings_seconds": {k: round(v, 6) for k, v in self.timings.items()},
+            "cache": cache_stats if cache_stats is not None else self.context_stats(),
+        }
+        if extra:
+            record["extra"] = extra
+        self.bench_dir.mkdir(parents=True, exist_ok=True)
+        path = self.bench_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def _evaluator(
+    corpus: Sequence[SyntheticBinary], evaluator: CorpusEvaluator | None
+) -> CorpusEvaluator:
+    return evaluator if evaluator is not None else CorpusEvaluator(corpus)
 
 
 # ----------------------------------------------------------------------
@@ -44,24 +238,36 @@ class StrategyOutcome:
         return self.metrics.binaries_with_full_accuracy
 
 
-def _fde_only_metrics(corpus: list[SyntheticBinary]) -> CorpusMetrics:
-    metrics = CorpusMetrics()
-    for binary in corpus:
-        detected = extract_fde_starts(binary.image)
-        metrics.add(compute_metrics(binary.ground_truth, detected))
-    return metrics
+def run_strategy_ladder(
+    corpus: list[SyntheticBinary],
+    ladder: Sequence[tuple[str, Any]],
+    make_detector: Callable[[Any], Any],
+    *,
+    evaluator: CorpusEvaluator | None = None,
+) -> list[StrategyOutcome]:
+    """Evaluate one Figure 5 ladder: ``(label, options)`` rungs in order.
+
+    A rung whose options are ``None`` is the shared FDE-only baseline;
+    every other rung runs ``make_detector(options)`` over the corpus.  All
+    rungs share the evaluator's per-binary contexts, so the corpus is
+    decoded once for the whole ladder.
+    """
+    evaluator = _evaluator(corpus, evaluator)
+    outcomes = []
+    for label, options in ladder:
+        if options is None:
+            metrics = evaluator.fde_only_metrics(corpus)
+        else:
+            metrics = evaluator.run_detector(
+                lambda o=options: make_detector(o), corpus
+            )
+        outcomes.append(StrategyOutcome(label=label, metrics=metrics))
+    return outcomes
 
 
-def _run_detector_over(corpus: list[SyntheticBinary], detector_factory) -> CorpusMetrics:
-    metrics = CorpusMetrics()
-    for binary in corpus:
-        detector = detector_factory()
-        result = detector.detect(binary.image)
-        metrics.add(compute_metrics(binary.ground_truth, result.function_starts))
-    return metrics
-
-
-def run_figure5a(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
+def run_figure5a(
+    corpus: list[SyntheticBinary], *, evaluator: CorpusEvaluator | None = None
+) -> list[StrategyOutcome]:
     """GHIDRA strategy ladder (Figure 5a)."""
     ladder = [
         ("FDE", None),
@@ -70,17 +276,12 @@ def run_figure5a(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
         ("FDE+Rec+Fsig", GhidraOptions(function_matching=True)),
         ("FDE+Rec+Tcall", GhidraOptions(tail_call_heuristic=True)),
     ]
-    outcomes = []
-    for label, options in ladder:
-        if options is None:
-            metrics = _fde_only_metrics(corpus)
-        else:
-            metrics = _run_detector_over(corpus, lambda o=options: GhidraLike(o))
-        outcomes.append(StrategyOutcome(label=label, metrics=metrics))
-    return outcomes
+    return run_strategy_ladder(corpus, ladder, GhidraLike, evaluator=evaluator)
 
 
-def run_figure5b(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
+def run_figure5b(
+    corpus: list[SyntheticBinary], *, evaluator: CorpusEvaluator | None = None
+) -> list[StrategyOutcome]:
     """ANGR strategy ladder (Figure 5b)."""
     ladder = [
         ("FDE", None),
@@ -90,17 +291,12 @@ def run_figure5b(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
         ("FDE+Rec+Scan", AngrOptions(linear_scan=True)),
         ("FDE+Rec+Tcall", AngrOptions(tail_call_heuristic=True)),
     ]
-    outcomes = []
-    for label, options in ladder:
-        if options is None:
-            metrics = _fde_only_metrics(corpus)
-        else:
-            metrics = _run_detector_over(corpus, lambda o=options: AngrLike(o))
-        outcomes.append(StrategyOutcome(label=label, metrics=metrics))
-    return outcomes
+    return run_strategy_ladder(corpus, ladder, AngrLike, evaluator=evaluator)
 
 
-def run_figure5c(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
+def run_figure5c(
+    corpus: list[SyntheticBinary], *, evaluator: CorpusEvaluator | None = None
+) -> list[StrategyOutcome]:
     """The optimal-strategy ladder (Figure 5c) culminating in full FETCH."""
     ladder = [
         ("FDE", None),
@@ -118,14 +314,7 @@ def run_figure5c(corpus: list[SyntheticBinary]) -> list[StrategyOutcome]:
         ),
         ("FDE+Rec+Xref+Tcall", FetchOptions()),
     ]
-    outcomes = []
-    for label, options in ladder:
-        if options is None:
-            metrics = _fde_only_metrics(corpus)
-        else:
-            metrics = _run_detector_over(corpus, lambda o=options: FetchDetector(o))
-        outcomes.append(StrategyOutcome(label=label, metrics=metrics))
-    return outcomes
+    return run_strategy_ladder(corpus, ladder, FetchDetector, evaluator=evaluator)
 
 
 # ----------------------------------------------------------------------
@@ -151,25 +340,43 @@ class FdeCoverageStudy:
         return 100.0 * self.covered_functions / self.total_functions
 
 
-def run_fde_coverage_study(corpus: list[SyntheticBinary]) -> FdeCoverageStudy:
-    study = FdeCoverageStudy()
-    missed_kinds: dict[str, int] = defaultdict(int)
-    for binary in corpus:
-        study.binary_count += 1
+def run_fde_coverage_study(
+    corpus: list[SyntheticBinary], *, evaluator: CorpusEvaluator | None = None
+) -> FdeCoverageStudy:
+    evaluator = _evaluator(corpus, evaluator)
+
+    def per_binary(binary: SyntheticBinary, context: AnalysisContext):
         fde_starts = extract_fde_starts(binary.image)
         truth = binary.ground_truth
-        study.total_functions += truth.function_count
         covered = truth.function_starts & fde_starts
-        study.covered_functions += len(covered)
         missed = truth.function_starts - fde_starts
+        missed_kinds: dict[str, int] = defaultdict(int)
+        for address in missed:
+            info = truth.by_address(address)
+            missed_kinds[info.kind if info else "unknown"] += 1
+        coverage = fde_symbol_coverage(binary.image)
+        return (
+            truth.function_count,
+            len(covered),
+            dict(missed_kinds),
+            coverage.symbol_count,
+            coverage.covered_symbols,
+        )
+
+    study = FdeCoverageStudy()
+    missed_kinds: dict[str, int] = defaultdict(int)
+    for total, covered, missed, symbols, covered_symbols in evaluator.map(
+        per_binary, corpus
+    ):
+        study.binary_count += 1
+        study.total_functions += total
+        study.covered_functions += covered
         if missed:
             study.binaries_with_misses += 1
-            for address in missed:
-                info = truth.by_address(address)
-                missed_kinds[info.kind if info else "unknown"] += 1
-        coverage = fde_symbol_coverage(binary.image)
-        study.symbol_count += coverage.symbol_count
-        study.symbols_covered_by_fdes += coverage.covered_symbols
+            for kind, count in missed.items():
+                missed_kinds[kind] += count
+        study.symbol_count += symbols
+        study.symbols_covered_by_fdes += covered_symbols
     study.missed_by_kind = dict(missed_kinds)
     return study
 
@@ -192,25 +399,34 @@ class FdeErrorStudy:
     worst_binary_false_positives: int = 0
 
 
-def run_fde_error_study(corpus: list[SyntheticBinary]) -> FdeErrorStudy:
-    study = FdeErrorStudy()
-    for binary in corpus:
-        study.binary_count += 1
+def run_fde_error_study(
+    corpus: list[SyntheticBinary], *, evaluator: CorpusEvaluator | None = None
+) -> FdeErrorStudy:
+    evaluator = _evaluator(corpus, evaluator)
+
+    def per_binary(binary: SyntheticBinary, context: AnalysisContext):
         truth = binary.ground_truth
         fde_starts = extract_fde_starts(binary.image)
         false_positives = fde_starts - truth.function_starts
+        cold = false_positives & truth.cold_part_starts
+        gadgets = sum(
+            count_rop_gadgets(binary.image, address, context=context)
+            for address in false_positives
+        )
+        return (binary.name, len(false_positives), len(cold), gadgets)
+
+    study = FdeErrorStudy()
+    for name, false_positives, cold, gadgets in evaluator.map(per_binary, corpus):
+        study.binary_count += 1
         if false_positives:
             study.binaries_with_false_positives += 1
-        study.total_false_positives += len(false_positives)
-        cold = false_positives & truth.cold_part_starts
-        study.from_non_contiguous_functions += len(cold)
-        study.from_handwritten_fdes += len(false_positives - cold)
-        study.rop_gadgets_at_false_starts += sum(
-            count_rop_gadgets(binary.image, address) for address in false_positives
-        )
-        if len(false_positives) > study.worst_binary_false_positives:
-            study.worst_binary_false_positives = len(false_positives)
-            study.worst_binary = binary.name
+        study.total_false_positives += false_positives
+        study.from_non_contiguous_functions += cold
+        study.from_handwritten_fdes += false_positives - cold
+        study.rop_gadgets_at_false_starts += gadgets
+        if false_positives > study.worst_binary_false_positives:
+            study.worst_binary_false_positives = false_positives
+            study.worst_binary = name
     return study
 
 
@@ -239,31 +455,39 @@ class Algorithm1Study:
         return 100.0 * removed / self.false_positives_before
 
 
-def run_algorithm1_study(corpus: list[SyntheticBinary]) -> Algorithm1Study:
-    study = Algorithm1Study()
+def run_algorithm1_study(
+    corpus: list[SyntheticBinary], *, evaluator: CorpusEvaluator | None = None
+) -> Algorithm1Study:
+    evaluator = _evaluator(corpus, evaluator)
     before_options = FetchOptions(validate_fde_starts=False, use_tail_call_analysis=False)
     after_options = FetchOptions()
 
-    for binary in corpus:
+    def per_binary(binary: SyntheticBinary, context: AnalysisContext):
         truth = binary.ground_truth
-        before = FetchDetector(before_options).detect(binary.image)
-        after = FetchDetector(after_options).detect(binary.image)
+        before = FetchDetector(before_options).detect(binary.image, context)
+        after = FetchDetector(after_options).detect(binary.image, context)
         metrics_before = compute_metrics(truth, before.function_starts)
         metrics_after = compute_metrics(truth, after.function_starts)
+        introduced = metrics_after.false_negatives - metrics_before.false_negatives
+        tailcall_only = 0
+        for address in introduced:
+            info = truth.by_address(address)
+            if info is not None and info.reachable_via == "tailcall":
+                tailcall_only += 1
+        return (metrics_before, metrics_after, len(introduced), tailcall_only)
 
+    study = Algorithm1Study()
+    for metrics_before, metrics_after, introduced, tailcall_only in evaluator.map(
+        per_binary, corpus
+    ):
         study.false_positives_before += metrics_before.fp_count
         study.false_positives_after += metrics_after.fp_count
         study.full_accuracy_before += int(metrics_before.full_accuracy)
         study.full_accuracy_after += int(metrics_after.full_accuracy)
         study.full_coverage_before += int(metrics_before.full_coverage)
         study.full_coverage_after += int(metrics_after.full_coverage)
-
-        introduced = metrics_after.false_negatives - metrics_before.false_negatives
-        study.new_false_negatives += len(introduced)
-        for address in introduced:
-            info = truth.by_address(address)
-            if info is not None and info.reachable_via == "tailcall":
-                study.new_false_negatives_tailcall_only += 1
+        study.new_false_negatives += introduced
+        study.new_false_negatives_tailcall_only += tailcall_only
     return study
 
 
@@ -279,34 +503,47 @@ class ToolComparisonCell:
 
 
 def run_tool_comparison(
-    corpus: list[SyntheticBinary], *, include_fetch: bool = True
+    corpus: list[SyntheticBinary],
+    *,
+    include_fetch: bool = True,
+    evaluator: CorpusEvaluator | None = None,
 ) -> dict[str, dict[str, ToolComparisonCell]]:
     """FP/FN per tool per optimisation level (Table III).
 
     Returns ``{opt_level: {tool_name: ToolComparisonCell}}`` plus an ``Avg.``
-    row aggregating all levels.
+    row aggregating all levels.  With a shared evaluator, all ten detectors
+    reuse one decode cache per binary.
     """
+    evaluator = _evaluator(corpus, evaluator)
     tools = all_comparison_tools()
     if include_fetch:
         tools = tools + [FetchDetector()]
 
+    def per_binary(binary: SyntheticBinary, context: AnalysisContext):
+        metrics: dict[str, BinaryMetrics] = {}
+        for tool in tools:
+            # Request the context per tool so an unshared evaluator hands
+            # every detector run a fresh one (the before/after benchmark).
+            result = tool.detect(binary.image, evaluator.context_for(binary))
+            metrics[tool.name] = compute_metrics(
+                binary.ground_truth, result.function_starts
+            )
+        return metrics
+
+    per = evaluator.map(per_binary, corpus)
+
+    groups: dict[str, list[dict[str, BinaryMetrics]]] = defaultdict(list)
+    for binary, metrics_by_tool in zip(corpus, per):
+        groups[binary.plan.profile.opt_level.value].append(metrics_by_tool)
+
     by_level: dict[str, dict[str, ToolComparisonCell]] = {}
     totals: dict[str, list[int]] = defaultdict(lambda: [0, 0, 0])
-
-    groups: dict[str, list[SyntheticBinary]] = defaultdict(list)
-    for binary in corpus:
-        groups[binary.plan.profile.opt_level.value].append(binary)
-
-    for level, binaries in sorted(groups.items()):
+    for level, rows in sorted(groups.items()):
         row: dict[str, ToolComparisonCell] = {}
         for tool in tools:
-            fp = fn = functions = 0
-            for binary in binaries:
-                result = tool.detect(binary.image)
-                metrics = compute_metrics(binary.ground_truth, result.function_starts)
-                fp += metrics.fp_count
-                fn += metrics.fn_count
-                functions += metrics.true_count
+            fp = sum(metrics[tool.name].fp_count for metrics in rows)
+            fn = sum(metrics[tool.name].fn_count for metrics in rows)
+            functions = sum(metrics[tool.name].true_count for metrics in rows)
             row[tool.name] = ToolComparisonCell(fp, fn, functions)
             totals[tool.name][0] += fp
             totals[tool.name][1] += fn
@@ -341,56 +578,72 @@ class StackHeightCell:
 
 
 def run_stack_height_study(
-    corpus: list[SyntheticBinary],
+    corpus: list[SyntheticBinary], *, evaluator: CorpusEvaluator | None = None
 ) -> dict[str, dict[str, dict[str, StackHeightCell]]]:
     """Compare static stack-height analyses against CFI heights (Table IV).
 
     Returns ``{opt_level: {flavor: {"full": cell, "jump": cell}}}``.
     """
+    evaluator = _evaluator(corpus, evaluator)
     flavors = ("angr", "dyninst")
+
+    def per_binary(binary: SyntheticBinary, context: AnalysisContext):
+        image = binary.image
+        fdes = {fde.pc_begin: fde for fde in image.fdes}
+        disassembler = RecursiveDisassembler(image, context=context)
+        disassembly = disassembler.disassemble(set(fdes))
+        counts = {
+            flavor: {"full": [0, 0, 0], "jump": [0, 0, 0]} for flavor in flavors
+        }
+        for start, function in disassembly.functions.items():
+            fde = fdes.get(start)
+            if fde is None:
+                continue
+            table = context.cfa_table(fde)
+            if not table.has_complete_stack_height:
+                continue
+            reference = {
+                address: table.stack_height_at(address)
+                for address in function.instructions
+                if fde.covers(address)
+            }
+            for flavor in flavors:
+                analysis = StackHeightAnalysis(flavor, context=context).analyze(function)
+                for scope in ("full", "jump"):
+                    cell = counts[flavor][scope]
+                    for address, expected in reference.items():
+                        insn = function.instructions[address]
+                        if scope == "jump" and not insn.is_jump:
+                            continue
+                        cell[2] += 1
+                        observed = analysis.get(address)
+                        if observed is None:
+                            continue
+                        cell[1] += 1
+                        if observed == expected:
+                            cell[0] += 1
+        return counts
+
+    per = evaluator.map(per_binary, corpus)
+
+    groups: dict[str, list] = defaultdict(list)
+    for binary, counts in zip(corpus, per):
+        groups[binary.plan.profile.opt_level.value].append(counts)
+
     results: dict[str, dict[str, dict[str, StackHeightCell]]] = {}
-
-    groups: dict[str, list[SyntheticBinary]] = defaultdict(list)
-    for binary in corpus:
-        groups[binary.plan.profile.opt_level.value].append(binary)
-
-    for level, binaries in sorted(groups.items()):
+    for level, rows in sorted(groups.items()):
         cells = {
             flavor: {"full": StackHeightCell(), "jump": StackHeightCell()}
             for flavor in flavors
         }
-        for binary in binaries:
-            image = binary.image
-            fdes = {fde.pc_begin: fde for fde in image.fdes}
-            disassembler = RecursiveDisassembler(image)
-            disassembly = disassembler.disassemble(set(fdes))
-            for start, function in disassembly.functions.items():
-                fde = fdes.get(start)
-                if fde is None:
-                    continue
-                table = build_cfa_table(fde)
-                if not table.has_complete_stack_height:
-                    continue
-                reference = {
-                    address: table.stack_height_at(address)
-                    for address in function.instructions
-                    if fde.covers(address)
-                }
-                for flavor in flavors:
-                    analysis = StackHeightAnalysis(flavor).analyze(function)
-                    for scope in ("full", "jump"):
-                        cell = cells[flavor][scope]
-                        for address, expected in reference.items():
-                            insn = function.instructions[address]
-                            if scope == "jump" and not insn.is_jump:
-                                continue
-                            cell.total += 1
-                            observed = analysis.get(address)
-                            if observed is None:
-                                continue
-                            cell.reported += 1
-                            if observed == expected:
-                                cell.matching += 1
+        for counts in rows:
+            for flavor in flavors:
+                for scope in ("full", "jump"):
+                    cell = cells[flavor][scope]
+                    matching, reported, total = counts[flavor][scope]
+                    cell.matching += matching
+                    cell.reported += reported
+                    cell.total += total
         results[level] = cells
     return results
 
@@ -400,9 +653,19 @@ def run_stack_height_study(
 # ----------------------------------------------------------------------
 
 def run_timing_study(
-    corpus: list[SyntheticBinary], *, include_fetch: bool = True
+    corpus: list[SyntheticBinary],
+    *,
+    include_fetch: bool = True,
+    evaluator: CorpusEvaluator | None = None,
 ) -> dict[str, float]:
-    """Average analysis time per binary per tool, in seconds (Table V)."""
+    """Average analysis time per binary per tool, in seconds (Table V).
+
+    Timing runs are always serial and always give every detector run a cold
+    (private) context: a shared cache would charge all decode misses to
+    whichever tool happens to run first and hand later tools a warm cache,
+    turning the per-tool comparison into a measurement of run order.  The
+    ``evaluator`` argument only contributes its timing/record plumbing.
+    """
     tools = all_comparison_tools()
     if include_fetch:
         tools = tools + [FetchDetector()]

@@ -10,6 +10,7 @@ here rather than in the semantics module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.x86.operands import Imm, Mem
 from repro.x86.registers import Register
@@ -61,10 +62,14 @@ class Instruction:
         """Encoded length in bytes."""
         return len(self.data)
 
-    @property
+    @cached_property
     def end(self) -> int:
-        """Address of the byte following this instruction."""
-        return self.address + self.size
+        """Address of the byte following this instruction.
+
+        Cached: instructions are immutable and ``end`` sits on the hottest
+        paths of traversal, gap computation and stack-height analysis.
+        """
+        return self.address + len(self.data)
 
     # ------------------------------------------------------------------
     # Classification
@@ -85,15 +90,15 @@ class Instruction:
     def is_conditional_jump(self) -> bool:
         return self.mnemonic in CONDITIONAL_JUMPS
 
-    @property
+    @cached_property
     def is_jump(self) -> bool:
         """Any jump (conditional or unconditional), excluding calls."""
-        return self.is_unconditional_jump or self.is_conditional_jump
+        return self.mnemonic == "jmp" or self.mnemonic in CONDITIONAL_JUMPS
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         """Any control transfer: jumps, calls and returns."""
-        return self.is_jump or self.is_call or self.is_ret
+        return self.is_jump or self.mnemonic in ("call", "ret")
 
     @property
     def is_direct_branch(self) -> bool:
@@ -130,7 +135,7 @@ class Instruction:
     # ------------------------------------------------------------------
     # Targets
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def branch_target(self) -> int | None:
         """Absolute target of a direct call/jump, else ``None``."""
         if self.is_direct_branch:
@@ -147,7 +152,7 @@ class Instruction:
                 return op
         return None
 
-    @property
+    @cached_property
     def rip_target(self) -> int | None:
         """Absolute address referenced through a RIP-relative operand."""
         mem = self.memory_operand
