@@ -18,7 +18,11 @@ from pathlib import Path
 import pytest
 
 from repro.eval import CorpusEvaluator
-from repro.synth import build_selfbuilt_corpus, build_wild_corpus
+from repro.synth import (
+    build_scenario_matrix_corpora,
+    build_selfbuilt_corpus,
+    build_wild_corpus,
+)
 
 REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
 BENCH_DIRECTORY = Path(__file__).resolve().parent.parent
@@ -59,6 +63,12 @@ def selfbuilt_corpus():
 def selfbuilt_corpus_small(selfbuilt_corpus):
     """A subsample for the slowest benchmarks (timing, stack heights)."""
     return selfbuilt_corpus[: max(8, len(selfbuilt_corpus) // 4)]
+
+
+@pytest.fixture(scope="session")
+def scenario_corpora():
+    """The scenario matrix corpora: PIE, CET, ICF, padded, stripped-noeh."""
+    return build_scenario_matrix_corpora(scale=_scale(), programs=3, seed=2021)
 
 
 @pytest.fixture(scope="session")

@@ -11,18 +11,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.analysis.padding import skip_padding_bytes
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import decode_range
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.context import AnalysisContext
 
-#: Bytes compilers use as inter-function filler.
-_PADDING_BYTES = frozenset((0x90, 0xCC, 0x00))
 #: Minimum decodable instructions for a gap piece to count as code.
 _MIN_INSTRUCTIONS = 2
 #: Maximum function-start candidates reported per gap.
 _MAX_PIECES_PER_GAP = 4
+
+_ENDBR64 = b"\xf3\x0f\x1e\xfa"
 
 
 def linear_scan_gaps(
@@ -30,8 +31,15 @@ def linear_scan_gaps(
     gaps: list[tuple[int, int]],
     *,
     context: "AnalysisContext | None" = None,
+    require_endbr: bool = False,
 ) -> set[int]:
-    """Return the starts of decodable code pieces found inside ``gaps``."""
+    """Return the starts of decodable code pieces found inside ``gaps``.
+
+    ``require_endbr`` is the CET-aware mode: with indirect-branch tracking a
+    function entry must be an ``endbr64`` landing pad, so pieces that do not
+    start with one are rejected (scan-based detectors on CET binaries use
+    this to suppress mid-function false starts).
+    """
     cache = context.decode_cache if context is not None else None
     starts: set[int] = set()
     for gap_start, gap_end in gaps:
@@ -43,7 +51,7 @@ def linear_scan_gaps(
         end = min(gap_end, section.end_address)
         pieces = 0
         while cursor < end and pieces < _MAX_PIECES_PER_GAP:
-            cursor = _skip_padding(data, section.address, cursor, end)
+            cursor = skip_padding_bytes(data, section.address, cursor, end)
             if cursor >= end:
                 break
             decoded = list(
@@ -58,16 +66,16 @@ def linear_scan_gaps(
             )
             meaningful = [i for i in decoded if not i.is_padding]
             if len(meaningful) >= _MIN_INSTRUCTIONS:
-                starts.add(cursor)
                 pieces += 1
+                # Report the first non-padding instruction: multi-byte NOP
+                # runs (66 0f 1f ...) decode fine but are filler, exactly
+                # like the single-byte padding skipped above.
+                piece_start = meaningful[0].address
+                offset = piece_start - section.address
+                if not require_endbr or data[offset : offset + 4] == _ENDBR64:
+                    starts.add(piece_start)
             if decoded:
                 cursor = decoded[-1].end + 1
             else:
                 cursor += 1
     return starts
-
-
-def _skip_padding(data: bytes, base: int, cursor: int, end: int) -> int:
-    while cursor < end and data[cursor - base] in _PADDING_BYTES:
-        cursor += 1
-    return cursor

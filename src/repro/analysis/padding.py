@@ -1,0 +1,26 @@
+"""Shared inter-function padding knowledge.
+
+Compilers fill the space between functions with one of three single-byte
+fillers — ``nop`` (0x90), ``int3`` (0xCC) or zero bytes — or with the
+multi-byte NOP family (``0f 1f /0``, optionally ``66``-prefixed).  The
+single-byte set is consumed by byte-level skippers (linear scanning, the
+angr-style alignment heuristic); multi-byte NOPs decode as ``nop``
+instructions and are recognised via :attr:`Instruction.is_padding` instead,
+since their prefix bytes (``0x66``, ``0x0f``) are *not* padding on their own.
+"""
+
+from __future__ import annotations
+
+#: Single-byte inter-function filler values.
+PADDING_BYTES = frozenset((0x90, 0xCC, 0x00))
+
+#: First bytes of the multi-byte NOP family (``0f 1f``, ``66 0f 1f``, ...).
+#: Only meaningful as instruction *starts* — never skip these byte-wise.
+MULTI_BYTE_NOP_PREFIXES = (b"\x0f\x1f", b"\x66\x0f\x1f")
+
+
+def skip_padding_bytes(data: bytes, base: int, cursor: int, end: int) -> int:
+    """Advance ``cursor`` past single-byte padding (addresses, not offsets)."""
+    while cursor < end and data[cursor - base] in PADDING_BYTES:
+        cursor += 1
+    return cursor

@@ -26,7 +26,23 @@ PROLOGUE_PATTERNS: tuple[bytes, ...] = (
     b"\x48\x83\xec",              # sub rsp, imm8
 )
 
-_PADDING_BYTES = frozenset(b"\x90\xcc\x00\x66\x0f\x1f")
+#: Patterns for CET-instrumented binaries: with indirect-branch tracking every
+#: function entry must be an ``endbr64`` landing pad, so a prologue byte
+#: sequence *not* anchored at an endbr64 is mid-function code or data, never a
+#: function start.  CET-aware matchers therefore trust only the landing pad.
+CET_PROLOGUE_PATTERNS: tuple[bytes, ...] = (
+    b"\xf3\x0f\x1e\xfa",          # endbr64
+)
+
+
+def select_prologue_patterns(image: BinaryImage) -> tuple[bytes, ...]:
+    """The prologue signature set appropriate for ``image``.
+
+    CET binaries (see :attr:`BinaryImage.uses_cet`) get the endbr64-anchored
+    set; everything else gets the classic patterns.  This is the scenario
+    hook used by all pattern-matching detector models.
+    """
+    return CET_PROLOGUE_PATTERNS if image.uses_cet else PROLOGUE_PATTERNS
 
 
 def match_prologues(

@@ -13,12 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.linearscan import linear_scan_gaps
+from repro.analysis.padding import PADDING_BYTES
 from repro.baselines.base import BaselineTool
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
-
-_PADDING = frozenset((0x90, 0xCC, 0x00))
 
 
 @dataclass(frozen=True)
@@ -83,7 +82,10 @@ class AngrLike(BaselineTool):
 
         if options.linear_scan:
             scanned = linear_scan_gaps(
-                image, self._gaps(image, disassembly), context=context
+                image,
+                self._gaps(image, disassembly),
+                context=context,
+                require_endbr=image.uses_cet,
             )
             result.record_stage("scan", scanned - result.function_starts)
 
@@ -104,7 +106,7 @@ class AngrLike(BaselineTool):
             saw_padding = False
             while cursor < gap_end:
                 byte = data[cursor - section.address]
-                if byte in _PADDING:
+                if byte in PADDING_BYTES:
                     saw_padding = True
                     cursor += 1
                     continue

@@ -10,7 +10,7 @@ comparison (Table III).
 from __future__ import annotations
 
 from repro.analysis.linearscan import linear_scan_gaps
-from repro.analysis.prologue import PROLOGUE_PATTERNS
+from repro.analysis.prologue import select_prologue_patterns
 from repro.baselines.base import BaselineTool
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
@@ -36,7 +36,8 @@ class BapLike(BaselineTool):
 
         # Signature matching over the whole text section (not just gaps).
         matches: set[int] = set()
-        for positions in context.text_pattern_matches(PROLOGUE_PATTERNS).values():
+        patterns = select_prologue_patterns(image)
+        for positions in context.text_pattern_matches(patterns).values():
             matches.update(
                 address for address in positions if address not in result.function_starts
             )
@@ -44,6 +45,11 @@ class BapLike(BaselineTool):
         result.record_stage("signatures", grown - result.function_starts)
 
         # Speculative disassembly of what is still unexplored.
-        scanned = linear_scan_gaps(image, self._gaps(image, disassembly), context=context)
+        scanned = linear_scan_gaps(
+            image,
+            self._gaps(image, disassembly),
+            context=context,
+            require_endbr=image.uses_cet,
+        )
         result.record_stage("speculative", scanned - result.function_starts)
         return result

@@ -6,7 +6,7 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING
 
 from repro.analysis.gaps import compute_gaps
-from repro.analysis.prologue import match_prologues
+from repro.analysis.prologue import match_prologues, select_prologue_patterns
 from repro.analysis.recursive import RecursiveDisassembler
 from repro.analysis.result import DisassemblyResult
 from repro.core.results import DetectionResult
@@ -84,7 +84,14 @@ class BaselineTool(ABC):
         gaps: list[tuple[int, int]],
         context: "AnalysisContext | None" = None,
     ) -> set[int]:
-        return match_prologues(image, gaps, context=context)
+        """Gap prologue matching with the scenario-appropriate signature set.
+
+        CET binaries get endbr64-anchored patterns (every function entry is a
+        landing pad there), everything else the classic prologues.
+        """
+        return match_prologues(
+            image, gaps, patterns=select_prologue_patterns(image), context=context
+        )
 
     @staticmethod
     def _aligned_pointer_sweep(

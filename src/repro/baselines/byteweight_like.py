@@ -10,7 +10,7 @@ approaches both their coverage and their error rates.
 
 from __future__ import annotations
 
-from repro.analysis.prologue import PROLOGUE_PATTERNS
+from repro.analysis.prologue import PROLOGUE_PATTERNS, select_prologue_patterns
 from repro.baselines.base import BaselineTool
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
@@ -45,8 +45,15 @@ class ByteWeightLike(BaselineTool):
     ) -> DetectionResult:
         context = context_for(image, context)
         result = DetectionResult(binary_name=image.name)
+        # Untrained instances fall back to the scenario-appropriate stock set
+        # (endbr64-anchored on CET binaries); trained patterns are used as-is.
+        patterns = (
+            select_prologue_patterns(image)
+            if self.patterns is PROLOGUE_PATTERNS
+            else self.patterns
+        )
         matches: set[int] = set()
-        for positions in context.text_pattern_matches(self.patterns).values():
+        for positions in context.text_pattern_matches(patterns).values():
             matches.update(positions)
         result.record_stage("signatures", matches)
         return result

@@ -47,6 +47,11 @@ class BinaryNinjaLike(BaselineTool):
         grown = self._grow_from_matches(image, disassembler, disassembly, matches)
         result.record_stage("prologue", grown - result.function_starts)
 
-        scanned = linear_scan_gaps(image, self._gaps(image, disassembly), context=context)
+        scanned = linear_scan_gaps(
+            image,
+            self._gaps(image, disassembly),
+            context=context,
+            require_endbr=image.uses_cet,
+        )
         result.record_stage("linear", scanned - result.function_starts)
         return result

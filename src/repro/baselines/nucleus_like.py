@@ -34,6 +34,7 @@ class NucleusLike(BaselineTool):
 
         starts: set[int] = set()
         starts |= {t for t in call_targets if image.is_executable_address(t)}
+        cet = image.uses_cet
         for component in components:
             block_addresses = [a for a in component if a in instructions]
             if not block_addresses:
@@ -41,6 +42,11 @@ class NucleusLike(BaselineTool):
             lowest = min(block_addresses)
             insn = instructions[lowest]
             if insn.is_padding or insn.mnemonic == "(bad)":
+                continue
+            # On CET binaries a component head that is not an endbr64 landing
+            # pad cannot be a function entry (only fallthrough/jump flow
+            # reaches it), so it is fragment noise, not a function.
+            if cet and insn.mnemonic != "endbr64":
                 continue
             starts.add(lowest)
         result.record_stage("cfg", starts)

@@ -9,8 +9,9 @@ parallel; output stays in argument order.
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from repro.core import AnalysisContext, FetchDetector, FetchOptions
 from repro.core.results import DetectionResult
@@ -37,7 +38,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="analyse up to N binaries in parallel (default: 1)",
+        help="analyse up to N binaries in parallel threads (default: 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "analyse up to N binaries in parallel worker processes "
+            "(bypasses the GIL; takes precedence over --jobs)"
+        ),
     )
     parser.add_argument(
         "--no-recursion",
@@ -135,8 +146,14 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     paths = [args.binary, *args.more_binaries]
     jobs = max(1, args.jobs)
+    workers = max(0, args.workers)
 
-    if jobs > 1 and len(paths) > 1:
+    if workers > 1 and len(paths) > 1:
+        # CPU-bound analysis scales with processes, not GIL-bound threads.
+        analyse = functools.partial(_analyse_one, args=args)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(analyse, paths))
+    elif jobs > 1 and len(paths) > 1:
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             outcomes = list(pool.map(lambda p: _analyse_one(p, args), paths))
     else:

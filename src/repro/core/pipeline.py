@@ -43,6 +43,11 @@ class FetchOptions:
     use_pointer_validation: bool = True
     #: run Algorithm 1 tail-call detection / merging (stage 4)
     use_tail_call_analysis: bool = True
+    #: on binaries with no usable ``.eh_frame`` (the stripped-and-stripped-of-
+    #: eh scenario), fall back to seeding from the entry point so recursive
+    #: disassembly still recovers the call-reachable functions.  Never fires
+    #: when FDEs are present, so EH-carrying binaries are unaffected.
+    fallback_entry_seed: bool = True
 
 
 class FetchDetector:
@@ -71,6 +76,8 @@ class FetchDetector:
         seeds = extract_fde_starts(image)
         if options.use_symbols:
             seeds |= {s.address for s in image.function_symbols}
+        if not seeds and options.fallback_entry_seed and image.entry_point:
+            seeds = {image.entry_point}
         seeds = {address for address in seeds if image.is_executable_address(address)}
 
         invalid_fde_starts: set[int] = set()

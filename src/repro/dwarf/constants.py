@@ -49,6 +49,25 @@ DW_EH_PE_aligned = 0x50
 DW_EH_PE_indirect = 0x80
 DW_EH_PE_omit = 0xFF
 
+#: Signed pointer formats mapped to their unsigned counterparts.
+_UNSIGNED_POINTER_FORMAT = {
+    DW_EH_PE_sleb128: DW_EH_PE_uleb128,
+    DW_EH_PE_sdata2: DW_EH_PE_udata2,
+    DW_EH_PE_sdata4: DW_EH_PE_udata4,
+    DW_EH_PE_sdata8: DW_EH_PE_udata8,
+}
+
+
+def unsigned_pointer_format(encoding: int) -> int:
+    """The format nibble of ``encoding``, with signed formats made unsigned.
+
+    Length fields (the FDE PC range) are unsigned quantities regardless of
+    the CIE's pointer encoding; both the parser and the encoder treat them
+    through this one mapping so ranges >= 2**31 round-trip.
+    """
+    fmt = encoding & 0x0F
+    return _UNSIGNED_POINTER_FORMAT.get(fmt, fmt)
+
 # --- Register numbers used by CFI on x86-64 -----------------------------
 DWARF_REG_RSP = 7
 DWARF_REG_RBP = 6

@@ -23,6 +23,8 @@ def default_cie_instructions() -> list[CfiInstruction]:
     return [def_cfa(C.DWARF_REG_RSP, 8), offset(C.DWARF_REG_RA, -8)]
 
 
+
+
 @dataclass
 class FdeSpec:
     """Description of one FDE to be emitted.
@@ -164,7 +166,10 @@ class EhFrameBuilder:
         else:
             pc_value = fde.pc_begin
         body += self._encode_with_format(pc_value, encoding)
-        body += self._encode_with_format(fde.pc_range, encoding & 0x0F)
+        # The PC range is an unsigned length; encode it with the unsigned
+        # counterpart of the CIE format so ranges >= 2**31 stay representable
+        # (byte-identical to the signed encoding for smaller ranges).
+        body += self._encode_with_format(fde.pc_range, C.unsigned_pointer_format(encoding))
         body += encode_uleb128(0)  # augmentation data length
         body += encode_cfi_program(
             fde.instructions,

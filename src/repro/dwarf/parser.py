@@ -8,6 +8,7 @@ the section load address, and decodes each entry's CFI program into resolved
 from __future__ import annotations
 
 import struct
+from typing import Callable
 
 from repro.dwarf import constants as C
 from repro.dwarf.cfi import decode_cfi_program
@@ -19,8 +20,17 @@ class EhFrameParseError(ValueError):
     """Raised when the ``.eh_frame`` section is malformed."""
 
 
+#: ``address -> pointer value`` memory accessor used to resolve
+#: ``DW_EH_PE_indirect`` pointers; ``None`` means the address is unmapped.
+Dereferencer = Callable[[int], "int | None"]
+
+
 def _read_encoded(
-    data: bytes, pos: int, encoding: int, field_address: int
+    data: bytes,
+    pos: int,
+    encoding: int,
+    field_address: int,
+    deref: Dereferencer | None = None,
 ) -> tuple[int, int]:
     """Read one encoded pointer, returning ``(value, new_pos)``."""
     if encoding == C.DW_EH_PE_omit:
@@ -56,16 +66,38 @@ def _read_encoded(
         value += field_address
     elif application not in (C.DW_EH_PE_absptr,):
         raise EhFrameParseError(f"unsupported pointer application {application:#x}")
+
+    if encoding & C.DW_EH_PE_indirect:
+        # The computed value is the address of a slot holding the real
+        # pointer (GCC uses this for personality routines in PIC code).
+        # Without a memory accessor the slot cannot be dereferenced; treating
+        # the slot address as the pointer would be silently wrong.
+        if deref is None:
+            raise EhFrameParseError(
+                f"indirect pointer at {field_address:#x} requires memory access"
+            )
+        resolved = deref(value)
+        if resolved is None:
+            raise EhFrameParseError(
+                f"indirect pointer slot {value:#x} is unmapped"
+            )
+        value = resolved
     return value, pos
 
 
-def parse_eh_frame(data: bytes, section_address: int) -> tuple[list[CieRecord], list[FdeRecord]]:
+def parse_eh_frame(
+    data: bytes, section_address: int, *, deref: Dereferencer | None = None
+) -> tuple[list[CieRecord], list[FdeRecord]]:
     """Parse an ``.eh_frame`` section.
 
     Args:
         data: raw section contents.
         section_address: virtual address the section is loaded at (needed to
             resolve PC-relative pointers).
+        deref: optional memory accessor resolving ``DW_EH_PE_indirect``
+            pointer slots (``address -> value``); without one, indirect
+            encodings raise :class:`EhFrameParseError` instead of silently
+            decoding to the slot address.
 
     Returns:
         ``(cies, fdes)`` in file order.
@@ -91,7 +123,7 @@ def parse_eh_frame(data: bytes, section_address: int) -> tuple[list[CieRecord], 
         pos += 4
 
         if cie_id == 0:
-            cie = _parse_cie(data, pos, entry_end, entry_offset)
+            cie = _parse_cie(data, pos, entry_end, entry_offset, section_address, deref)
             cies[entry_offset] = cie
         else:
             cie_offset = id_field_offset - cie_id
@@ -101,14 +133,21 @@ def parse_eh_frame(data: bytes, section_address: int) -> tuple[list[CieRecord], 
                     f"FDE at {entry_offset:#x} references unknown CIE at {cie_offset:#x}"
                 )
             fdes.append(
-                _parse_fde(data, pos, entry_end, entry_offset, cie, section_address)
+                _parse_fde(data, pos, entry_end, entry_offset, cie, section_address, deref)
             )
         pos = entry_end
 
     return list(cies.values()), fdes
 
 
-def _parse_cie(data: bytes, pos: int, entry_end: int, entry_offset: int) -> CieRecord:
+def _parse_cie(
+    data: bytes,
+    pos: int,
+    entry_end: int,
+    entry_offset: int,
+    section_address: int = 0,
+    deref: Dereferencer | None = None,
+) -> CieRecord:
     version = data[pos]
     pos += 1
     if version not in (1, 3, 4):
@@ -142,7 +181,9 @@ def _parse_cie(data: bytes, pos: int, entry_end: int, entry_offset: int) -> CieR
             elif char == "P":
                 personality_encoding = data[pos]
                 pos += 1
-                _, pos = _read_encoded(data, pos, personality_encoding, 0)
+                _, pos = _read_encoded(
+                    data, pos, personality_encoding, section_address + pos, deref
+                )
             elif char == "S":
                 pass  # signal frame marker, no data
             else:
@@ -171,10 +212,16 @@ def _parse_fde(
     entry_offset: int,
     cie: CieRecord,
     section_address: int,
+    deref: Dereferencer | None = None,
 ) -> FdeRecord:
     encoding = cie.fde_pointer_encoding
-    pc_begin, pos = _read_encoded(data, pos, encoding, section_address + pos)
-    pc_range, pos = _read_encoded(data, pos, encoding & 0x0F, section_address + pos)
+    pc_begin, pos = _read_encoded(data, pos, encoding, section_address + pos, deref)
+    # The PC range is a length, not a pointer: it is read with the CIE
+    # encoding's format but always as an unsigned quantity and with no
+    # application (a signed read would make ranges >= 2**31 negative).
+    pc_range, pos = _read_encoded(
+        data, pos, C.unsigned_pointer_format(encoding), section_address + pos
+    )
     if pc_range < 0:
         raise EhFrameParseError(f"FDE at {entry_offset:#x} has a negative PC range")
 

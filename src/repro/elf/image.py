@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import cached_property
 
-from repro.dwarf.parser import parse_eh_frame
+from repro.dwarf.parser import EhFrameParseError, parse_eh_frame
 from repro.dwarf.structs import CieRecord, FdeRecord
 from repro.elf import constants as C
 from repro.elf.reader import read_elf, read_elf_file
@@ -100,6 +100,40 @@ class BinaryImage:
     def entry_point(self) -> int:
         return self.elf.entry_point
 
+    @property
+    def is_pie(self) -> bool:
+        """Whether the binary is a position-independent executable (``ET_DYN``)."""
+        return self.elf.elf_type == C.ET_DYN
+
+    @cached_property
+    def uses_cet(self) -> bool:
+        """Whether the binary carries CET/IBT instrumentation.
+
+        Detected structurally: the entry point — or, failing that, the
+        majority of a sample of FDE-covered function starts — begins with an
+        ``endbr64`` landing pad.  Scenario-aware detectors use this to switch
+        to endbr64-anchored prologue signatures.
+        """
+        endbr = b"\xf3\x0f\x1e\xfa"
+
+        def starts_with_endbr(address: int) -> bool:
+            try:
+                return self.read(address, 4) == endbr
+            except ValueError:
+                return False
+
+        if self.is_executable_address(self.entry_point):
+            if starts_with_endbr(self.entry_point):
+                return True
+        try:
+            sample = [fde.pc_begin for fde in self.fdes[:16]]
+        except EhFrameParseError:
+            # Pattern-only consumers of this probe never read .eh_frame
+            # themselves; a malformed section must not crash them.
+            return False
+        hits = sum(1 for address in sample if starts_with_endbr(address))
+        return bool(sample) and hits * 2 > len(sample)
+
     # ------------------------------------------------------------------
     # Symbols
     # ------------------------------------------------------------------
@@ -130,11 +164,27 @@ class BinaryImage:
 
     @cached_property
     def eh_frame_records(self) -> tuple[list[CieRecord], list[FdeRecord]]:
-        """Parsed ``(cies, fdes)`` from ``.eh_frame`` (empty when absent)."""
+        """Parsed ``(cies, fdes)`` from ``.eh_frame`` (empty when absent).
+
+        ``DW_EH_PE_indirect`` pointers are dereferenced through the image's
+        own mapped sections.
+        """
         section = self.elf.section(".eh_frame")
         if section is None or not section.data:
             return [], []
-        return parse_eh_frame(section.data, section.address)
+        return parse_eh_frame(
+            section.data, section.address, deref=self._deref_pointer_slot
+        )
+
+    def _deref_pointer_slot(self, address: int) -> int | None:
+        """Read the 8-byte pointer slot at ``address`` (``None`` if unmapped)."""
+        try:
+            data = self.read(address, 8)
+        except ValueError:
+            return None
+        if len(data) < 8:
+            return None
+        return int.from_bytes(data, "little")
 
     @property
     def fdes(self) -> list[FdeRecord]:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import struct
 
 from repro.elf import constants as C
-from repro.elf.structs import ElfFile, Section, Symbol
+from repro.elf.structs import ElfFile, Section
 
 
 def _align(value: int, alignment: int) -> int:
@@ -76,6 +76,10 @@ class _ElfWriter:
 
     # ------------------------------------------------------------------
     def _append_symbol_sections(self) -> None:
+        if not self.elf.symbols:
+            # A fully stripped binary carries no .symtab/.strtab at all
+            # (matching what `strip` produces), rather than empty tables.
+            return
         strtab = bytearray(b"\x00")
         name_offsets: dict[str, int] = {}
 

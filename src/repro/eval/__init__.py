@@ -8,7 +8,9 @@ in :mod:`repro.eval.runner` and a renderer in :mod:`repro.eval.tables`; the
 from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
 from repro.eval.runner import (
     CorpusEvaluator,
+    ScenarioMatrix,
     StrategyOutcome,
+    run_scenario_matrix,
     run_strategy_ladder,
     run_figure5a,
     run_figure5b,
@@ -24,6 +26,7 @@ from repro.eval.runner import (
 )
 from repro.eval.tables import (
     render_figure5,
+    render_scenario_matrix,
     render_table1,
     render_table2,
     render_table3,
@@ -36,7 +39,9 @@ __all__ = [
     "BinaryMetrics",
     "CorpusEvaluator",
     "CorpusMetrics",
+    "ScenarioMatrix",
     "compute_metrics",
+    "run_scenario_matrix",
     "StrategyOutcome",
     "run_strategy_ladder",
     "run_figure5a",
@@ -51,6 +56,7 @@ __all__ = [
     "run_wild_study",
     "run_selfbuilt_fde_study",
     "render_figure5",
+    "render_scenario_matrix",
     "render_table1",
     "render_table2",
     "render_table3",

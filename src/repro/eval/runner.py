@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import threading
 import time
 from collections import defaultdict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
@@ -29,13 +30,76 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.analysis.gadgets import count_rop_gadgets
 from repro.analysis.recursive import RecursiveDisassembler
 from repro.analysis.stackheight import StackHeightAnalysis
-from repro.baselines import AngrLike, AngrOptions, GhidraLike, GhidraOptions, all_comparison_tools
+from repro.baselines import (
+    AngrLike,
+    AngrOptions,
+    ByteWeightLike,
+    GhidraLike,
+    GhidraOptions,
+    all_comparison_tools,
+)
 from repro.core import FetchDetector, FetchOptions
 from repro.core.context import AnalysisContext
 from repro.core.fde_source import extract_fde_starts, fde_symbol_coverage
 from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
 from repro.synth.compiler import SyntheticBinary
 from repro.synth.profiles import WildProfile
+
+
+# ----------------------------------------------------------------------
+# Process-pool worker plumbing
+#
+# The thread pool (``jobs``) shares one decode cache per binary but is bound
+# by the GIL; the process pool (``workers``) buys real CPU parallelism at the
+# cost of per-process contexts.  Each worker receives the corpus once (via
+# the pool initializer) and keeps its own per-binary AnalysisContext, so the
+# decode-once property holds within every worker.  Task payloads must be
+# picklable: module-level functions only — closures fall back to threads.
+# ----------------------------------------------------------------------
+
+_WORKER_CORPUS: list[Any] | None = None
+_WORKER_CONTEXTS: dict[int, AnalysisContext] = {}
+
+
+def _process_worker_init(corpus: list[Any]) -> None:
+    global _WORKER_CORPUS, _WORKER_CONTEXTS
+    _WORKER_CORPUS = corpus
+    _WORKER_CONTEXTS = {}
+
+
+def _process_invoke(payload: tuple[Callable[..., Any], int, tuple]) -> Any:
+    fn, index, fn_args = payload
+    assert _WORKER_CORPUS is not None, "process pool initializer did not run"
+    binary = _WORKER_CORPUS[index]
+    context = _WORKER_CONTEXTS.get(index)
+    if context is None:
+        context = AnalysisContext(getattr(binary, "image", binary))
+        _WORKER_CONTEXTS[index] = context
+    return fn(binary, context, *fn_args)
+
+
+def _detect_binary_metrics(
+    binary: SyntheticBinary, context: AnalysisContext, detector: Any
+) -> BinaryMetrics:
+    result = detector.detect(binary.image, context)
+    return compute_metrics(binary.ground_truth, result.function_starts)
+
+
+def _fde_only_binary_metrics(
+    binary: SyntheticBinary, context: AnalysisContext
+) -> BinaryMetrics:
+    detected = extract_fde_starts(binary.image)
+    return compute_metrics(binary.ground_truth, detected)
+
+
+def _tool_comparison_metrics(
+    binary: SyntheticBinary, context: AnalysisContext, tools: list[Any]
+) -> dict[str, BinaryMetrics]:
+    metrics: dict[str, BinaryMetrics] = {}
+    for tool in tools:
+        result = tool.detect(binary.image, context)
+        metrics[tool.name] = compute_metrics(binary.ground_truth, result.function_starts)
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -68,16 +132,37 @@ class CorpusEvaluator:
         corpus: Sequence[SyntheticBinary],
         *,
         jobs: int = 1,
+        workers: int = 0,
         bench_dir: str | os.PathLike | None = None,
         share_contexts: bool = True,
     ):
         self.corpus = list(corpus)
         self.jobs = max(1, int(jobs))
+        #: ``workers > 1`` enables the :class:`ProcessPoolExecutor` backend
+        #: for module-level map functions (closures fall back to threads).
+        #: Unlike the GIL-bound thread pool it buys real CPU parallelism;
+        #: contexts then live per worker process, one per binary.
+        self.workers = max(0, int(workers))
         self.bench_dir = Path(bench_dir) if bench_dir is not None else None
         self.share_contexts = share_contexts
         self.timings: dict[str, float] = {}
         self._contexts: dict[int, AnalysisContext] = {}
         self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._corpus_index = {id(binary): i for i, binary in enumerate(self.corpus)}
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the process pool (no-op without one)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CorpusEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- contexts -------------------------------------------------------
     def context_for(self, binary: SyntheticBinary) -> AnalysisContext:
@@ -129,18 +214,61 @@ class CorpusEvaluator:
     # -- fan-out --------------------------------------------------------
     def map(
         self,
-        fn: Callable[[SyntheticBinary, AnalysisContext], Any],
+        fn: Callable[..., Any],
         items: Iterable[SyntheticBinary] | None = None,
+        *,
+        fn_args: tuple = (),
     ) -> list[Any]:
-        """``fn(binary, context)`` over ``items`` (default: the corpus).
+        """``fn(binary, context, *fn_args)`` over ``items`` (default: the corpus).
 
-        Results come back in input order regardless of ``jobs``.
+        Results come back in input order regardless of the backend.  With
+        ``workers > 1`` and a picklable, module-level ``fn`` over corpus
+        members, the call fans out over the process pool; anything else
+        (closures, foreign binaries) uses the thread pool / serial path.
         """
         binaries = self.corpus if items is None else list(items)
+        if self._can_use_processes(fn, binaries, fn_args):
+            pool = self._process_pool()
+            payloads = [
+                (fn, self._corpus_index[id(binary)], fn_args) for binary in binaries
+            ]
+            return list(pool.map(_process_invoke, payloads))
         if self.jobs <= 1 or len(binaries) <= 1:
-            return [fn(binary, self.context_for(binary)) for binary in binaries]
+            return [fn(binary, self.context_for(binary), *fn_args) for binary in binaries]
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            return list(pool.map(lambda b: fn(b, self.context_for(b)), binaries))
+            return list(pool.map(lambda b: fn(b, self.context_for(b), *fn_args), binaries))
+
+    def _can_use_processes(
+        self, fn: Callable[..., Any], binaries: list[Any], fn_args: tuple
+    ) -> bool:
+        if self.workers <= 1 or len(binaries) <= 1:
+            return False
+        if not self.share_contexts:
+            # The process backend inherently reuses one context per binary
+            # inside each worker; an unshared evaluator must keep the
+            # fresh-context-per-request semantics, so it stays on threads.
+            return False
+        if any(id(binary) not in self._corpus_index for binary in binaries):
+            return False
+        try:
+            pickle.dumps((fn, fn_args))
+        except Exception:
+            return False
+        return True
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        """The lazily-created persistent process pool.
+
+        The corpus ships to each worker once via the pool initializer;
+        individual tasks then reference binaries by index.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_process_worker_init,
+                initargs=(self.corpus,),
+            )
+        return self._pool
 
     def run_detector(
         self,
@@ -148,13 +276,21 @@ class CorpusEvaluator:
         items: Iterable[SyntheticBinary] | None = None,
     ) -> CorpusMetrics:
         """Run one detector (a fresh instance per binary) over the corpus."""
+        if self.workers > 1:
+            # Process backend: one detector instance, pickled per task.
+            # Detector runs are stateless, so this is result-identical to the
+            # fresh-instance-per-binary thread path.
+            per = self.map(_detect_binary_metrics, items, fn_args=(detector_factory(),))
+        else:
 
-        def one(binary: SyntheticBinary, context: AnalysisContext) -> BinaryMetrics:
-            result = detector_factory().detect(binary.image, context)
-            return compute_metrics(binary.ground_truth, result.function_starts)
+            def one(binary: SyntheticBinary, context: AnalysisContext) -> BinaryMetrics:
+                result = detector_factory().detect(binary.image, context)
+                return compute_metrics(binary.ground_truth, result.function_starts)
+
+            per = self.map(one, items)
 
         metrics = CorpusMetrics()
-        for binary_metrics in self.map(one, items):
+        for binary_metrics in per:
             metrics.add(binary_metrics)
         return metrics
 
@@ -162,13 +298,8 @@ class CorpusEvaluator:
         self, items: Iterable[SyntheticBinary] | None = None
     ) -> CorpusMetrics:
         """The FDE-only rung shared by every Figure 5 ladder."""
-
-        def one(binary: SyntheticBinary, context: AnalysisContext) -> BinaryMetrics:
-            detected = extract_fde_starts(binary.image)
-            return compute_metrics(binary.ground_truth, detected)
-
         metrics = CorpusMetrics()
-        for binary_metrics in self.map(one, items):
+        for binary_metrics in self.map(_fde_only_binary_metrics, items):
             metrics.add(binary_metrics)
         return metrics
 
@@ -519,18 +650,24 @@ def run_tool_comparison(
     if include_fetch:
         tools = tools + [FetchDetector()]
 
-    def per_binary(binary: SyntheticBinary, context: AnalysisContext):
-        metrics: dict[str, BinaryMetrics] = {}
-        for tool in tools:
-            # Request the context per tool so an unshared evaluator hands
-            # every detector run a fresh one (the before/after benchmark).
-            result = tool.detect(binary.image, evaluator.context_for(binary))
-            metrics[tool.name] = compute_metrics(
-                binary.ground_truth, result.function_starts
-            )
-        return metrics
+    if evaluator.workers > 1:
+        # Process backend: each worker keeps one context per binary, which
+        # is exactly the shared-context semantics.
+        per = evaluator.map(_tool_comparison_metrics, corpus, fn_args=(tools,))
+    else:
 
-    per = evaluator.map(per_binary, corpus)
+        def per_binary(binary: SyntheticBinary, context: AnalysisContext):
+            metrics: dict[str, BinaryMetrics] = {}
+            for tool in tools:
+                # Request the context per tool so an unshared evaluator hands
+                # every detector run a fresh one (the before/after benchmark).
+                result = tool.detect(binary.image, evaluator.context_for(binary))
+                metrics[tool.name] = compute_metrics(
+                    binary.ground_truth, result.function_starts
+                )
+            return metrics
+
+        per = evaluator.map(per_binary, corpus)
 
     groups: dict[str, list[dict[str, BinaryMetrics]]] = defaultdict(list)
     for binary, metrics_by_tool in zip(corpus, per):
@@ -677,6 +814,110 @@ def run_timing_study(
         elapsed = time.perf_counter() - start
         timings[tool.name] = elapsed / max(len(corpus), 1)
     return timings
+
+
+# ----------------------------------------------------------------------
+# Scenario matrix — every (scenario × detector) cell
+# ----------------------------------------------------------------------
+
+#: The ten detectors of the scenario matrix: the paper's eight comparison
+#: tools, the ByteWeight model, and FETCH itself.
+MATRIX_DETECTORS: tuple[tuple[str, Callable[[], Any]], ...] = tuple(
+    [(cls.name, cls) for cls in (*map(type, all_comparison_tools()), ByteWeightLike)]
+    + [("fetch", FetchDetector)]
+)
+
+
+class ScenarioMatrix:
+    """Evaluate every (scenario × detector) cell of a scenario-keyed corpus.
+
+    Built on :class:`CorpusEvaluator`: one evaluator per scenario row shares
+    decode work across all ten detectors, with the ``jobs`` thread pool or
+    the ``workers`` process pool fanning binaries out.  :meth:`run` fills
+    :attr:`cells` (``{scenario: {tool: metrics summary}}``) and per-cell
+    wall-clock :attr:`timings`; :meth:`write_bench` records everything as
+    ``BENCH_<name>.json``.
+    """
+
+    def __init__(
+        self,
+        corpora: dict[str, Sequence[SyntheticBinary]],
+        *,
+        jobs: int = 1,
+        workers: int = 0,
+        include_fetch: bool = True,
+        bench_dir: str | os.PathLike | None = None,
+    ):
+        self.corpora = {name: list(binaries) for name, binaries in corpora.items()}
+        self.jobs = max(1, int(jobs))
+        self.workers = max(0, int(workers))
+        self.bench_dir = Path(bench_dir) if bench_dir is not None else None
+        self.detectors = [
+            (name, factory)
+            for name, factory in MATRIX_DETECTORS
+            if include_fetch or name != "fetch"
+        ]
+        self.cells: dict[str, dict[str, dict[str, float | int]]] = {}
+        self.timings: dict[str, float] = {}
+        self.cache_stats: dict[str, dict[str, float | int]] = {}
+
+    def run(self) -> dict[str, dict[str, dict[str, float | int]]]:
+        """Evaluate all cells; returns ``{scenario: {tool: summary}}``."""
+        for scenario, corpus in self.corpora.items():
+            evaluator = CorpusEvaluator(corpus, jobs=self.jobs, workers=self.workers)
+            try:
+                row: dict[str, dict[str, float | int]] = {}
+                for tool_name, factory in self.detectors:
+                    metrics = evaluator.timed(
+                        f"{scenario}:{tool_name}", evaluator.run_detector, factory
+                    )
+                    row[tool_name] = metrics.summary()
+                self.cells[scenario] = row
+                self.timings.update(evaluator.timings)
+                self.cache_stats[scenario] = evaluator.context_stats()
+            finally:
+                evaluator.close()
+        return self.cells
+
+    def write_bench(
+        self, name: str = "scenario_matrix", *, extra: dict[str, Any] | None = None
+    ) -> Path | None:
+        """Write ``BENCH_<name>.json`` with all cells, timings and stats."""
+        if self.bench_dir is None:
+            return None
+        record: dict[str, Any] = {
+            "bench": name,
+            "created_unix": round(time.time(), 3),
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "scenarios": {
+                scenario: len(corpus) for scenario, corpus in self.corpora.items()
+            },
+            "detectors": [tool_name for tool_name, _ in self.detectors],
+            "cells": self.cells,
+            "timings_seconds": {k: round(v, 6) for k, v in self.timings.items()},
+            "cache": self.cache_stats,
+        }
+        if extra:
+            record["extra"] = extra
+        self.bench_dir.mkdir(parents=True, exist_ok=True)
+        path = self.bench_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def run_scenario_matrix(
+    corpora: dict[str, Sequence[SyntheticBinary]],
+    *,
+    jobs: int = 1,
+    workers: int = 0,
+    include_fetch: bool = True,
+) -> dict[str, dict[str, dict[str, float | int]]]:
+    """Convenience wrapper: build a :class:`ScenarioMatrix`, run it, return cells."""
+    matrix = ScenarioMatrix(
+        corpora, jobs=jobs, workers=workers, include_fetch=include_fetch
+    )
+    return matrix.run()
 
 
 # ----------------------------------------------------------------------

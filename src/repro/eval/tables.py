@@ -102,6 +102,34 @@ def render_table3(results: dict[str, dict[str, ToolComparisonCell]]) -> str:
     return "\n".join(lines)
 
 
+#: Detector column order of the scenario matrix (ten detectors).
+MATRIX_TOOL_ORDER = (
+    "dyninst", "bap", "radare2", "nucleus", "ida",
+    "ninja", "ghidra", "angr", "byteweight", "fetch",
+)
+
+
+def render_scenario_matrix(cells: dict[str, dict[str, dict[str, float | int]]]) -> str:
+    """Render the scenario matrix: FP / FN per detector per binary scenario."""
+    lines = ["Scenario matrix — FP / FN per detector per binary scenario", "-" * 110]
+    tools = [t for t in MATRIX_TOOL_ORDER if any(t in row for row in cells.values())]
+    label_width = max(18, max((len(s) for s in cells), default=0) + 4)
+    lines.append(f"{'scenario':<{label_width}}" + "".join(f"{tool:>11}" for tool in tools))
+    for scenario, row in cells.items():
+        fp_cells, fn_cells = [], []
+        for tool in tools:
+            summary = row.get(tool)
+            if summary is None:
+                fp_cells.append(f"{'-':>11}")
+                fn_cells.append(f"{'-':>11}")
+            else:
+                fp_cells.append(f"{summary['false_positives']:>11d}")
+                fn_cells.append(f"{summary['false_negatives']:>11d}")
+        lines.append(f"{scenario + ' FP':<{label_width}}" + "".join(fp_cells))
+        lines.append(f"{scenario + ' FN':<{label_width}}" + "".join(fn_cells))
+    return "\n".join(lines)
+
+
 def render_table4(results: dict[str, dict[str, dict[str, StackHeightCell]]]) -> str:
     """Render the stack-height analysis comparison (Table IV)."""
     lines = ["Table IV — stack-height analyses vs CFI baseline (precision / recall %)", "-" * 78]

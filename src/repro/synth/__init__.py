@@ -18,14 +18,23 @@ Entry points:
   analogues used by every experiment.
 """
 
-from repro.synth.profiles import BuildProfile, OptLevel, CompilerFamily, WildProfile
+from repro.synth.profiles import (
+    BuildProfile,
+    OptLevel,
+    CompilerFamily,
+    WildProfile,
+    profile_for_scenario,
+)
 from repro.synth.groundtruth import FunctionInfo, GroundTruth
 from repro.synth.plan import FunctionPlan, ProgramPlan
-from repro.synth.workloads import plan_program
+from repro.synth.workloads import SCENARIO_NAMES, plan_program
 from repro.synth.compiler import SyntheticBinary, compile_program
 from repro.synth.corpus import (
+    build_scenario_corpus,
+    build_scenario_matrix_corpora,
     build_selfbuilt_corpus,
     build_wild_corpus,
+    SCENARIO_DESCRIPTIONS,
     SELFBUILT_PROJECTS,
     WILD_SOFTWARE,
 )
@@ -35,15 +44,20 @@ __all__ = [
     "OptLevel",
     "CompilerFamily",
     "WildProfile",
+    "profile_for_scenario",
     "FunctionInfo",
     "GroundTruth",
     "FunctionPlan",
     "ProgramPlan",
+    "SCENARIO_NAMES",
     "plan_program",
     "SyntheticBinary",
     "compile_program",
+    "build_scenario_corpus",
+    "build_scenario_matrix_corpora",
     "build_selfbuilt_corpus",
     "build_wild_corpus",
+    "SCENARIO_DESCRIPTIONS",
     "SELFBUILT_PROJECTS",
     "WILD_SOFTWARE",
 ]

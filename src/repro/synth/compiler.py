@@ -10,7 +10,7 @@ construction, symbol table generation and ground-truth recording.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dwarf import cfi as cfi_mod
 from repro.dwarf.cfi import CfiInstruction
@@ -58,6 +58,22 @@ class _PlacedPart:
     function: FunctionCode
 
 
+#: Size of one PLT entry (header and stubs alike), as on real x86-64.
+_PLT_ENTRY_SIZE = 16
+
+
+@dataclass
+class _PltLayout:
+    """Addresses assigned to the lazy-binding PLT of a PIE plan."""
+
+    address: int  # PLT0 (the common resolver header)
+    stubs: list[tuple[str, int]]  # (external name, stub address)
+
+    @property
+    def end(self) -> int:
+        return self.address + _PLT_ENTRY_SIZE * (len(self.stubs) + 1)
+
+
 def _align(value: int, alignment: int) -> int:
     if alignment <= 1:
         return value
@@ -70,7 +86,14 @@ def compile_program(plan: ProgramPlan, *, keep_elf_bytes: bool = True) -> Synthe
     codes = [generate_function(function_plan, rng) for function_plan in plan.functions]
 
     placed, text_data, labels, text_end = _layout_text(plan, codes, rng)
-    rodata_section, data_section, labels = _layout_data(plan, codes, labels, text_end)
+
+    # PLT stub addresses must be known before data layout (callers relocate
+    # against them) but their *bytes* reference .got.plt slots, so the PLT is
+    # planned here and rendered after the data sections are placed.
+    plt_layout = _plan_plt(plan, text_end, labels)
+    code_end = plt_layout.end if plt_layout is not None else text_end
+
+    rodata_section, data_section, labels = _layout_data(plan, codes, labels, code_end)
     text_section = Section(
         name=".text",
         data=_resolve_text(plan, placed, text_data, labels),
@@ -80,19 +103,30 @@ def compile_program(plan: ProgramPlan, *, keep_elf_bytes: bool = True) -> Synthe
     )
 
     sections = [text_section, rodata_section, data_section]
+    last_data_section = data_section
+    if plt_layout is not None:
+        plt_section, got_section = _render_plt(plt_layout, data_section)
+        sections.insert(1, plt_section)
+        sections.append(got_section)
+        last_data_section = got_section
     if plan.emit_eh_frame:
-        sections.extend(_build_eh_frame(plan, placed, data_section))
+        sections.extend(_build_eh_frame(plan, placed, last_data_section))
 
     symbols = _build_symbols(plan, placed, labels)
     entry = labels.get("_start", labels.get("main", plan.text_address))
-    elf = ElfFile(sections=sections, symbols=symbols, entry_point=entry)
+    elf = ElfFile(
+        sections=sections,
+        symbols=symbols,
+        entry_point=entry,
+        elf_type=EC.ET_DYN if plan.pie else EC.ET_EXEC,
+    )
     elf_bytes = b""
     if keep_elf_bytes:
         from repro.elf.writer import write_elf
 
         elf_bytes = write_elf(elf)
 
-    ground_truth = _build_ground_truth(plan, placed)
+    ground_truth = _build_ground_truth(plan, placed, plt_layout)
     image = BinaryImage(elf=elf, name=plan.name)
     return SyntheticBinary(
         name=plan.name,
@@ -178,6 +212,10 @@ def _place_part(
 ) -> None:
     placed.append(_PlacedPart(part=part, address=address, function=code))
     labels[part.name] = address
+    if not part.is_cold:
+        # Identical-code folding: every alias name resolves to this body.
+        for alias in code.plan.icf_aliases:
+            labels[alias] = address
     for label, offset in part.labels.items():
         labels[label] = address + offset
 
@@ -249,6 +287,72 @@ def _encode_reloc(reloc: Reloc, address: int, labels: dict[str, int]) -> bytes:
     if reloc.kind == "mov_imm_addr":
         return _ASM.mov_ri32(reloc.reg, target)
     raise ValueError(f"unknown relocation kind {reloc.kind}")
+
+
+# ----------------------------------------------------------------------
+# PLT / GOT (PIE scenario)
+# ----------------------------------------------------------------------
+
+def _plan_plt(plan: ProgramPlan, text_end: int, labels: dict[str, int]) -> _PltLayout | None:
+    """Assign PLT entry addresses and register the ``<name>@plt`` labels."""
+    if not plan.plt_stubs:
+        return None
+    address = _align(text_end + 0x10, 16)
+    stubs: list[tuple[str, int]] = []
+    for index, name in enumerate(plan.plt_stubs):
+        stub = address + _PLT_ENTRY_SIZE * (index + 1)
+        labels[f"{name}@plt"] = stub
+        stubs.append((name, stub))
+    return _PltLayout(address=address, stubs=stubs)
+
+
+def _render_plt(layout: _PltLayout, data_section: Section) -> tuple[Section, Section]:
+    """Render the ``.plt`` and ``.got.plt`` sections of a PIE binary.
+
+    Classic lazy-binding layout: PLT0 pushes the link-map slot and jumps to
+    the resolver slot; each stub jumps through its ``.got.plt`` slot, which
+    initially points back at the stub's own ``push index`` instruction
+    (``stub + 6``) — a pointer into the *middle* of executable code, exactly
+    the kind of data-section value pointer-sweeping detectors must not
+    mistake for a function start.
+    """
+    got_address = _align(data_section.end_address + 0x100, 8)
+    reserved = 3  # got[0..2]: link map / resolver slots, zero here
+
+    plt = bytearray()
+    plt0 = layout.address
+    # PLT0: push qword [rip -> got+8]; jmp qword [rip -> got+16]; 4-byte nop
+    plt += b"\xff\x35" + _i32(got_address + 8 - (plt0 + 6))
+    plt += b"\xff\x25" + _i32(got_address + 16 - (plt0 + 12))
+    plt += b"\x0f\x1f\x40\x00"
+
+    got = bytearray(b"\x00" * (8 * reserved))
+    for index, (_name, stub) in enumerate(layout.stubs):
+        slot = got_address + 8 * (reserved + index)
+        plt += b"\xff\x25" + _i32(slot - (stub + 6))  # jmp qword [rip -> slot]
+        plt += b"\x68" + _i32(index)                  # push reloc-index
+        plt += b"\xe9" + _i32(plt0 - (stub + 16))     # jmp PLT0
+        got += (stub + 6).to_bytes(8, "little")       # lazy: back to the push
+
+    plt_section = Section(
+        name=".plt",
+        data=bytes(plt),
+        address=layout.address,
+        flags=EC.SHF_ALLOC | EC.SHF_EXECINSTR,
+        align=16,
+    )
+    got_section = Section(
+        name=".got.plt",
+        data=bytes(got),
+        address=got_address,
+        flags=EC.SHF_ALLOC | EC.SHF_WRITE,
+        align=8,
+    )
+    return plt_section, got_section
+
+
+def _i32(value: int) -> bytes:
+    return (value & 0xFFFFFFFF).to_bytes(4, "little")
 
 
 # ----------------------------------------------------------------------
@@ -407,11 +511,28 @@ def _build_symbols(
                 section_name=".text",
             )
         )
+        if not part.is_cold:
+            # ICF keeps every folded symbol; they all share one address.
+            for alias in placement.function.plan.icf_aliases:
+                symbols.append(
+                    Symbol(
+                        name=alias,
+                        address=placement.address,
+                        size=part.size,
+                        sym_type=EC.STT_FUNC,
+                        binding=EC.STB_GLOBAL,
+                        section_name=".text",
+                    )
+                )
     return symbols
 
 
-def _build_ground_truth(plan: ProgramPlan, placed: list[_PlacedPart]) -> GroundTruth:
-    truth = GroundTruth(name=plan.name)
+def _build_ground_truth(
+    plan: ProgramPlan,
+    placed: list[_PlacedPart],
+    plt_layout: _PltLayout | None = None,
+) -> GroundTruth:
+    truth = GroundTruth(name=plan.name, scenario=plan.scenario)
     hot_by_function: dict[str, _PlacedPart] = {}
     cold_by_function: dict[str, list[int]] = {}
     for placement in placed:
@@ -437,6 +558,35 @@ def _build_ground_truth(plan: ProgramPlan, placed: list[_PlacedPart]) -> GroundT
                 cold_part_addresses=cold_by_function.get(function_plan.name, []),
                 violates_callconv=function_plan.violates_callconv,
                 bad_fde_offset=function_plan.bad_fde_offset,
+                entry_padding=function_plan.entry_padding,
+                folded_aliases=list(function_plan.icf_aliases),
             )
         )
+
+    if plt_layout is not None:
+        # PLT entries are genuine code the linker synthesises: the header is
+        # reached only by the stubs' closing jumps, each stub by direct calls.
+        truth.functions.append(
+            FunctionInfo(
+                name=".plt",
+                address=plt_layout.address,
+                size=_PLT_ENTRY_SIZE,
+                kind="plt",
+                reachable_via="tailcall",
+                has_fde=False,
+                has_symbol=False,
+            )
+        )
+        for name, stub in plt_layout.stubs:
+            truth.functions.append(
+                FunctionInfo(
+                    name=f"{name}@plt",
+                    address=stub,
+                    size=_PLT_ENTRY_SIZE,
+                    kind="plt",
+                    reachable_via="call",
+                    has_fde=False,
+                    has_symbol=False,
+                )
+            )
     return truth

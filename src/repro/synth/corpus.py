@@ -16,13 +16,22 @@ from dataclasses import dataclass
 
 from repro.synth.compiler import SyntheticBinary, compile_program
 from repro.synth.profiles import (
-    BuildProfile,
     CompilerFamily,
     OptLevel,
     WildProfile,
     default_profile,
 )
-from repro.synth.workloads import WorkloadTraits, plan_program
+from repro.synth.workloads import SCENARIO_NAMES, WorkloadTraits, plan_program
+
+#: Human-readable descriptions of the scenario matrix rows.
+SCENARIO_DESCRIPTIONS: dict[str, str] = {
+    "vanilla": "plain ET_EXEC executable with symbols and .eh_frame",
+    "pie": "position-independent executable (ET_DYN) with lazy-binding PLT stubs",
+    "cet": "CET/IBT instrumented: endbr64 landing pad on every function entry",
+    "icf": "identical-code folding: multiple symbols aliasing one body",
+    "padded": "-fpatchable-function-entry style NOP-padded function entries",
+    "stripped-noeh": "stripped binary with the .eh_frame section removed",
+}
 
 
 @dataclass(frozen=True)
@@ -176,6 +185,61 @@ def build_selfbuilt_corpus(
                     if max_binaries is not None and len(binaries) >= max_binaries:
                         return binaries
     return binaries
+
+
+def build_scenario_corpus(
+    scenario: str,
+    *,
+    seed: int = 2021,
+    scale: float = 1.0,
+    programs: int = 4,
+    compilers: tuple[CompilerFamily, ...] = (CompilerFamily.GCC, CompilerFamily.CLANG),
+    opt_levels: tuple[OptLevel, ...] = (OptLevel.O2, OptLevel.O3),
+) -> list[SyntheticBinary]:
+    """Build one row of the scenario matrix: ``programs`` binaries of one scenario.
+
+    Programs rotate deterministically through the compiler/opt-level grid so
+    even a small row mixes toolchain idioms.  ``scale`` shrinks the mean
+    function count, as in :func:`build_selfbuilt_corpus`.
+    """
+    if scenario not in SCENARIO_NAMES:
+        raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIO_NAMES}")
+    binaries: list[SyntheticBinary] = []
+    for index in range(programs):
+        compiler = compilers[index % len(compilers)]
+        opt_level = opt_levels[(index // len(compilers)) % len(opt_levels)]
+        profile = default_profile(compiler, opt_level)
+        traits = WorkloadTraits(
+            cold_split_multiplier=1.0,
+            uses_function_pointers=True,
+            mean_functions=max(20, int(90 * scale)),
+        )
+        name = f"{scenario}-{index}:{compiler.value}:{opt_level.value}"
+        plan = plan_program(
+            name,
+            profile,
+            seed=f"{seed}:scenario:{name}",
+            traits=traits,
+            scenario=scenario,
+        )
+        binaries.append(compile_program(plan, keep_elf_bytes=False))
+    return binaries
+
+
+def build_scenario_matrix_corpora(
+    *,
+    seed: int = 2021,
+    scale: float = 1.0,
+    programs: int = 4,
+    scenarios: tuple[str, ...] = SCENARIO_NAMES,
+) -> dict[str, list[SyntheticBinary]]:
+    """Build the full scenario matrix: ``{scenario: [binaries]}``."""
+    return {
+        scenario: build_scenario_corpus(
+            scenario, seed=seed, scale=scale, programs=programs
+        )
+        for scenario in scenarios
+    }
 
 
 def build_wild_corpus(

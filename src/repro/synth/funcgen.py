@@ -203,6 +203,13 @@ def generate_function(plan: FunctionPlan, rng: random.Random) -> FunctionCode:
     code = FunctionCode(plan=plan, hot=hot)
     emitter = _Emitter(hot, plan.frame)
 
+    if plan.entry_padding:
+        # -fpatchable-function-entry style: NOPs at the entry point, inside
+        # the function (the FDE covers them, the symbol points at the first
+        # NOP).  Prologue signatures therefore sit entry_padding bytes past
+        # the true start.
+        emitter.raw(_ASM.nop(plan.entry_padding))
+
     if plan.kind == "thunk":
         _generate_thunk(plan, emitter)
         return code

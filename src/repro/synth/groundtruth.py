@@ -34,6 +34,10 @@ class FunctionInfo:
     #: when non-zero, the hand-written FDE's PC begin is shifted by this many
     #: bytes from the true start (the paper's Figure 6b case)
     bad_fde_offset: int = 0
+    #: bytes of patchable-function-entry NOP padding at the entry point
+    entry_padding: int = 0
+    #: symbol names folded onto this body by identical-code folding
+    folded_aliases: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -43,6 +47,8 @@ class GroundTruth:
     #: program name, e.g. "coreutils-like-3:gcc:O2"
     name: str
     functions: list[FunctionInfo] = field(default_factory=list)
+    #: the binary scenario the program was built for ("vanilla", "pie", ...)
+    scenario: str = "vanilla"
 
     # ------------------------------------------------------------------
     @property

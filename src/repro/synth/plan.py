@@ -64,6 +64,12 @@ class FunctionPlan:
     #: functions whose addresses this function materialises as 32-bit
     #: immediates (address-taken functions referenced from code constants)
     address_refs: list[str] = field(default_factory=list)
+    #: bytes of NOP padding emitted at the function entry, before the
+    #: prologue (``-fpatchable-function-entry`` style; covered by the FDE)
+    entry_padding: int = 0
+    #: extra symbol names folded onto this function's body (identical-code
+    #: folding: several source functions sharing one implementation)
+    icf_aliases: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -84,6 +90,13 @@ class ProgramPlan:
     emit_eh_frame: bool = True
     #: base virtual address of the .text section
     text_address: int = 0x401000
+    #: emit a position-independent executable (``ET_DYN``, low load address)
+    pie: bool = False
+    #: external function names given lazy-binding PLT stubs (PIE scenario);
+    #: callers reference them as ``<name>@plt``
+    plt_stubs: list[str] = field(default_factory=list)
+    #: the binary scenario this plan models (see repro.synth.corpus.SCENARIOS)
+    scenario: str = "vanilla"
 
     def function(self, name: str) -> FunctionPlan:
         for plan in self.functions:

@@ -15,6 +15,7 @@ stripped, varying language and compiler vintage.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass
 
@@ -101,6 +102,18 @@ def default_profile(compiler: CompilerFamily, opt_level: OptLevel) -> BuildProfi
         bad_fde_rate=0.0004,
         **base,
     )
+
+
+def profile_for_scenario(profile: BuildProfile, scenario: str) -> BuildProfile:
+    """Adjust a build profile to a binary scenario.
+
+    The only profile-level scenario knob today is CET instrumentation: a
+    ``cet`` build compiles with ``-fcf-protection`` and every function entry
+    gets an ``endbr64`` landing pad.
+    """
+    if scenario == "cet" and not profile.emits_endbr:
+        return dataclasses.replace(profile, emits_endbr=True)
+    return profile
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,22 @@ import random
 from dataclasses import dataclass
 
 from repro.synth.plan import FunctionPlan, ProgramPlan
-from repro.synth.profiles import BuildProfile, CompilerFamily
+from repro.synth.profiles import BuildProfile, CompilerFamily, profile_for_scenario
+
+#: Binary scenarios the planner knows how to produce.  "vanilla" is the
+#: classic static executable every pre-existing corpus uses; the rest widen
+#: coverage to the messy real-world cases the paper's claim must survive.
+SCENARIO_NAMES: tuple[str, ...] = (
+    "vanilla",        # plain ET_EXEC executable, symbols + .eh_frame
+    "pie",            # ET_DYN shared-object-style executable with PLT stubs
+    "cet",            # -fcf-protection: endbr64 landing pad on every entry
+    "icf",            # identical-code folding: aliased symbols on one body
+    "padded",         # -fpatchable-function-entry style NOP-padded entries
+    "stripped-noeh",  # no symbols and no .eh_frame at all
+)
+
+#: External names given PLT stubs in the "pie" scenario.
+_PLT_EXTERNALS = ("memcpy", "memset", "strlen", "malloc", "free", "printf")
 
 
 @dataclass(frozen=True)
@@ -48,6 +63,7 @@ def plan_program(
     function_count: int | None = None,
     stripped: bool = False,
     emit_eh_frame: bool = True,
+    scenario: str = "vanilla",
 ) -> ProgramPlan:
     """Plan a synthetic program.
 
@@ -60,7 +76,16 @@ def plan_program(
         stripped: drop the symbol table from the output.
         emit_eh_frame: emit the ``.eh_frame`` section (always true for
             System-V x64 compilers; disabled only for synthetic negatives).
+        scenario: binary scenario to model (one of :data:`SCENARIO_NAMES`);
+            ``"vanilla"`` reproduces the historical planner output exactly.
     """
+    if scenario not in SCENARIO_NAMES:
+        raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIO_NAMES}")
+    profile = profile_for_scenario(profile, scenario)
+    if scenario == "stripped-noeh":
+        stripped = True
+        emit_eh_frame = False
+
     traits = traits or WorkloadTraits()
     rng = random.Random(f"plan:{name}:{seed}")
     count = function_count or max(12, int(rng.gauss(traits.mean_functions, traits.mean_functions * 0.25)))
@@ -70,6 +95,7 @@ def plan_program(
         profile=profile,
         stripped=stripped,
         emit_eh_frame=emit_eh_frame,
+        scenario=scenario,
     )
 
     runtime = _plan_runtime(profile, traits)
@@ -80,7 +106,47 @@ def plan_program(
     _wire_call_graph(plan, profile, traits, rng, runtime, ordinary, specials)
     _interleave_noreturn_neighbours(plan, rng)
     _plan_data_in_text(plan, profile, traits, rng, count)
+    _apply_scenario(plan, rng, ordinary)
     return plan
+
+
+# ----------------------------------------------------------------------
+# Scenario shaping
+# ----------------------------------------------------------------------
+
+def _apply_scenario(plan: ProgramPlan, rng: random.Random, ordinary: list[FunctionPlan]) -> None:
+    """Apply the scenario-specific program shape after normal planning.
+
+    Runs *after* the call-graph wiring so the vanilla plan for a given seed
+    is bit-identical whether or not scenarios exist; every scenario only adds
+    structure on top.
+    """
+    scenario = plan.scenario
+    if scenario == "pie":
+        # A position-independent executable: low load bias, ET_DYN, and
+        # lazy-binding PLT stubs for a handful of external functions.
+        plan.pie = True
+        plan.text_address = 0x1000
+        stub_count = rng.randrange(3, len(_PLT_EXTERNALS) + 1)
+        plan.plt_stubs = list(_PLT_EXTERNALS[:stub_count])
+        for stub in plan.plt_stubs:
+            for caller in rng.sample(ordinary, min(len(ordinary), rng.randrange(1, 4))):
+                caller.callees.append(f"{stub}@plt")
+    elif scenario == "icf":
+        # Identical-code folding: several source functions share one body;
+        # the folded names survive as extra symbols and as call targets.
+        fold_count = max(2, len(ordinary) // 10)
+        for index in range(fold_count):
+            canonical = rng.choice(ordinary)
+            alias = f"{canonical.name}__icf{index}"
+            canonical.icf_aliases.append(alias)
+            rng.choice(ordinary).callees.append(alias)
+    elif scenario == "padded":
+        # -fpatchable-function-entry=N: NOP runs at the entry point push the
+        # recognisable prologue N bytes past the true function start.
+        for function in ordinary:
+            if rng.random() < 0.6:
+                function.entry_padding = rng.choice((8, 16))
 
 
 # ----------------------------------------------------------------------
@@ -291,7 +357,8 @@ def _plan_special_functions(
                 violates_callconv=True,
                 arg_count=2,
                 body_statements=rng.randrange(3, 9),
-                emits_endbr=False,
+                # Compiled code: under CET these still get landing pads.
+                emits_endbr=profile.emits_endbr,
                 alignment=profile.function_alignment,
             )
         )

@@ -20,7 +20,7 @@ from repro.elf.image import BinaryImage
 from repro.x86.disassembler import DecodeError, decode_instruction
 from repro.x86.instruction import Instruction
 from repro.x86.operands import Imm, Mem
-from repro.x86.registers import GPR64, RBP, RSP, Register
+from repro.x86.registers import RBP, RSP, Register
 
 _MASK = (1 << 64) - 1
 

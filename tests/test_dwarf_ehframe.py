@@ -1,5 +1,7 @@
 """Tests for the .eh_frame encoder and parser."""
 
+import struct
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -149,3 +151,128 @@ def test_arbitrary_fde_sets_roundtrip(fdes):
     data = builder.build(SECTION_ADDRESS)
     _, parsed = parse_eh_frame(data, SECTION_ADDRESS)
     assert [(f.pc_begin, f.pc_range) for f in parsed] == fdes
+
+
+# ----------------------------------------------------------------------
+# Pointer-encoding regressions: indirect application, signed range formats
+# ----------------------------------------------------------------------
+
+def build_with_encoding(encoding, fdes):
+    builder = EhFrameBuilder()
+    handle = builder.add_cie(fde_pointer_encoding=encoding)
+    for pc_begin, pc_range in fdes:
+        builder.add_fde(handle, pc_begin, pc_range, [])
+    return builder.build(SECTION_ADDRESS)
+
+
+def test_indirect_pointer_encoding_is_rejected_without_memory():
+    # DW_EH_PE_indirect (0x80) used to be masked away by `& 0x70`, silently
+    # decoding the slot *address* as the pointer.  Without a way to read the
+    # slot the parser must refuse, not guess.
+    encoding = C.DW_EH_PE_indirect | C.DW_EH_PE_absptr
+    data = build_with_encoding(encoding, [(0x600000, 0x40)])
+    with pytest.raises(EhFrameParseError, match="indirect"):
+        parse_eh_frame(data, SECTION_ADDRESS)
+
+
+def test_indirect_pointer_encoding_dereferences_with_memory():
+    slot_address = 0x600000
+    encoding = C.DW_EH_PE_indirect | C.DW_EH_PE_absptr
+    data = build_with_encoding(encoding, [(slot_address, 0x40)])
+
+    def deref(address):
+        return 0x401000 if address == slot_address else None
+
+    _, fdes = parse_eh_frame(data, SECTION_ADDRESS, deref=deref)
+    assert [(f.pc_begin, f.pc_range) for f in fdes] == [(0x401000, 0x40)]
+
+
+def test_indirect_pointer_to_unmapped_slot_is_rejected():
+    encoding = C.DW_EH_PE_indirect | C.DW_EH_PE_absptr
+    data = build_with_encoding(encoding, [(0x600000, 0x40)])
+    with pytest.raises(EhFrameParseError, match="unmapped"):
+        parse_eh_frame(data, SECTION_ADDRESS, deref=lambda address: None)
+
+
+def test_image_resolves_indirect_personality_through_its_sections():
+    # End to end: a BinaryImage hands the parser a dereferencer over its own
+    # mapped sections.
+    from repro.elf import constants as EC
+    from repro.elf.image import BinaryImage
+    from repro.elf.structs import ElfFile, Section
+
+    slot_address = 0x600000
+    encoding = C.DW_EH_PE_indirect | C.DW_EH_PE_absptr
+    data = build_with_encoding(encoding, [(slot_address, 0x40)])
+    sections = [
+        Section(name=".text", data=b"\x90" * 0x80, address=0x401000,
+                flags=EC.SHF_ALLOC | EC.SHF_EXECINSTR),
+        Section(name=".data", data=(0x401000).to_bytes(8, "little"),
+                address=slot_address, flags=EC.SHF_ALLOC | EC.SHF_WRITE),
+        Section(name=".eh_frame", data=data, address=SECTION_ADDRESS,
+                flags=EC.SHF_ALLOC),
+    ]
+    image = BinaryImage(elf=ElfFile(sections=sections, entry_point=0x401000))
+    assert [f.pc_begin for f in image.fdes] == [0x401000]
+
+
+def test_fde_range_of_two_gigabytes_parses_positive():
+    # The range is a length: with the sdata4-encoded CIE a range >= 2**31
+    # used to decode negative and abort; it must round-trip unsigned.
+    big = 0x8000_0000
+    data = build_with_encoding(C.DW_EH_PE_pcrel | C.DW_EH_PE_sdata4,
+                               [(0x401000, big)])
+    _, fdes = parse_eh_frame(data, SECTION_ADDRESS)
+    assert fdes[0].pc_range == big
+    assert fdes[0].pc_end == 0x401000 + big
+
+
+def test_unsigned_range_read_keeps_small_ranges_byte_identical():
+    signed = build_with_encoding(C.DW_EH_PE_pcrel | C.DW_EH_PE_sdata4,
+                                 [(0x401000, 0x56)])
+    _, fdes = parse_eh_frame(signed, SECTION_ADDRESS)
+    assert fdes[0].pc_range == 0x56
+
+
+# ----------------------------------------------------------------------
+# Malformed-section smoke tests (run as a CI smoke job)
+# ----------------------------------------------------------------------
+
+class TestMalformedEhFrame:
+    def test_entry_length_past_section_end(self):
+        data = struct.pack("<I", 0x1000) + b"\x00" * 8
+        with pytest.raises(EhFrameParseError, match="exceeds"):
+            parse_eh_frame(data, SECTION_ADDRESS)
+
+    def test_truncated_mid_fde_rejected(self):
+        data = build_simple([(0x401000, 0x20, [])])[1]
+        for cut in (len(data) - 3, len(data) // 2):
+            with pytest.raises((EhFrameParseError, ValueError, IndexError)):
+                parse_eh_frame(data[:cut] + b"\xff" * 3, SECTION_ADDRESS)
+
+    def test_unsupported_pointer_format_rejected(self):
+        builder = EhFrameBuilder()
+        builder.add_cie()
+        data = bytearray(builder.build(SECTION_ADDRESS))
+        # Corrupt the CIE's 'R' augmentation byte to an undefined format 0x05.
+        index = data.index(bytes([C.DW_EH_PE_pcrel | C.DW_EH_PE_sdata4]))
+        data[index] = 0x05
+        body = build_simple([(0x401000, 0x20, [])])[1]
+        # Reuse the valid FDE bytes against the corrupted CIE.
+        corrupted = bytes(data[:-4]) + body[len(data) - 4 : ]
+        with pytest.raises(EhFrameParseError, match="format"):
+            parse_eh_frame(corrupted, SECTION_ADDRESS)
+
+    def test_unsupported_pointer_application_rejected(self):
+        encoding = C.DW_EH_PE_textrel | C.DW_EH_PE_sdata4
+        builder = EhFrameBuilder()
+        handle = builder.add_cie(fde_pointer_encoding=encoding)
+        builder.add_fde(handle, 0x401000, 0x20, [])
+        data = builder.build(SECTION_ADDRESS)
+        with pytest.raises(EhFrameParseError, match="application"):
+            parse_eh_frame(data, SECTION_ADDRESS)
+
+    def test_64_bit_dwarf_marker_rejected(self):
+        data = struct.pack("<I", 0xFFFFFFFF) + b"\x00" * 16
+        with pytest.raises(EhFrameParseError, match="64-bit"):
+            parse_eh_frame(data, SECTION_ADDRESS)

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core import FetchDetector, FetchOptions
 from repro.dwarf.parser import EhFrameParseError, parse_eh_frame
-from repro.elf import BinaryImage, ElfFile, Section, write_elf
+from repro.elf import BinaryImage, ElfFile, Section
 from repro.elf import constants as C
 from repro.elf.reader import ElfParseError, read_elf
 
@@ -75,7 +75,7 @@ def test_bitflipped_eh_frame_never_hangs(rich_binary, position, value):
         assert fde.pc_range >= 0
 
 
-def test_detector_on_binary_without_eh_frame_returns_nothing():
+def test_detector_on_binary_without_eh_frame_falls_back_to_entry():
     text = Section(
         name=".text",
         data=b"\x55\x48\x89\xe5\x5d\xc3" + b"\x90" * 10,
@@ -83,8 +83,13 @@ def test_detector_on_binary_without_eh_frame_returns_nothing():
         flags=C.SHF_ALLOC | C.SHF_EXECINSTR,
     )
     image = _image_with([text])
+    # With no FDE seeds at all, FETCH degrades to recursive traversal from
+    # the entry point (the stripped-without-eh_frame scenario) ...
     result = FetchDetector().detect(image)
-    assert result.function_starts == set()
+    assert result.function_starts == {image.entry_point}
+    # ... unless the fallback is disabled, in which case nothing is found.
+    strict = FetchDetector(FetchOptions(fallback_entry_seed=False)).detect(image)
+    assert strict.function_starts == set()
 
 
 def test_detector_ignores_fdes_pointing_outside_executable_sections(rich_binary):

@@ -5,7 +5,6 @@ import pytest
 from repro.dwarf.cfa_table import build_cfa_table
 from repro.synth import compile_program, plan_program
 from repro.synth.plan import FunctionPlan, ProgramPlan
-from repro.synth.profiles import CompilerFamily, OptLevel, default_profile
 from repro.synth.workloads import WorkloadTraits
 from repro.x86.disassembler import decode_range
 

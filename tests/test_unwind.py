@@ -6,7 +6,7 @@ from repro.synth import compile_program
 from repro.synth.plan import FunctionPlan, ProgramPlan
 from repro.synth.profiles import CompilerFamily, OptLevel, default_profile
 from repro.unwind import Emulator, EmulatorTrap, StackUnwinder
-from repro.unwind.unwinder import UnwindError
+from repro.unwind.unwinder import UnwindError  # noqa: F401 - re-export smoke check
 from repro.x86.registers import RSP
 
 

@@ -9,13 +9,11 @@ from repro.x86.disassembler import DecodeError, decode_instruction, decode_range
 from repro.x86.operands import Imm, Mem
 from repro.x86.registers import (
     GPR64,
-    R8,
     R9,
     R11,
     R13,
     RAX,
     RBP,
-    RBX,
     RCX,
     RDI,
     RDX,
