@@ -8,6 +8,13 @@ many binaries the shared-context :class:`~repro.eval.runner.CorpusEvaluator`
 evaluates in parallel.  Rendered tables are printed to stdout and written to
 ``benchmarks/reports/`` for inclusion in EXPERIMENTS.md; machine-readable
 timing records land in ``BENCH_<name>.json`` at the repository root.
+
+All benchmarks share one content-addressed artifact store
+(``benchmarks/.store`` by default, ``REPRO_BENCH_STORE`` overrides, value
+``off`` disables): corpora are built once and reloaded by every later
+benchmark or run, and detector results persist across runs, so a warm
+re-run of the harness skips the expensive work.  Delete the store directory
+for a guaranteed-cold run.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.eval import CorpusEvaluator
+from repro.store import ArtifactStore
 from repro.synth import (
     build_scenario_matrix_corpora,
     build_selfbuilt_corpus,
@@ -26,6 +34,7 @@ from repro.synth import (
 
 REPORT_DIRECTORY = Path(__file__).resolve().parent / "reports"
 BENCH_DIRECTORY = Path(__file__).resolve().parent.parent
+STORE_DIRECTORY = Path(__file__).resolve().parent / ".store"
 
 
 def pytest_addoption(parser):
@@ -54,9 +63,20 @@ def _jobs(config) -> int:
 
 
 @pytest.fixture(scope="session")
-def selfbuilt_corpus():
+def artifact_store() -> ArtifactStore | None:
+    """The shared artifact store, or ``None`` when disabled."""
+    value = os.environ.get("REPRO_BENCH_STORE", "")
+    if value.lower() in ("0", "off", "none", "no"):
+        return None
+    return ArtifactStore(value or STORE_DIRECTORY)
+
+
+@pytest.fixture(scope="session")
+def selfbuilt_corpus(artifact_store):
     """The Dataset-2 analogue used by most benchmarks."""
-    return build_selfbuilt_corpus(scale=_scale(), max_binaries=_max_binaries(), seed=2021)
+    return build_selfbuilt_corpus(
+        scale=_scale(), max_binaries=_max_binaries(), seed=2021, store=artifact_store
+    )
 
 
 @pytest.fixture(scope="session")
@@ -66,15 +86,17 @@ def selfbuilt_corpus_small(selfbuilt_corpus):
 
 
 @pytest.fixture(scope="session")
-def scenario_corpora():
+def scenario_corpora(artifact_store):
     """The scenario matrix corpora: PIE, CET, ICF, padded, stripped-noeh."""
-    return build_scenario_matrix_corpora(scale=_scale(), programs=3, seed=2021)
+    return build_scenario_matrix_corpora(
+        scale=_scale(), programs=3, seed=2021, store=artifact_store
+    )
 
 
 @pytest.fixture(scope="session")
-def wild_corpus():
+def wild_corpus(artifact_store):
     """The Dataset-1 (wild binaries) analogue."""
-    return build_wild_corpus(scale=0.4, seed=2021)
+    return build_wild_corpus(scale=0.4, seed=2021, store=artifact_store)
 
 
 @pytest.fixture(scope="session")
@@ -84,7 +106,7 @@ def bench_jobs(pytestconfig) -> int:
 
 
 @pytest.fixture()
-def make_evaluator(bench_jobs):
+def make_evaluator(bench_jobs, artifact_store):
     """Build a shared-context CorpusEvaluator emitting BENCH_*.json records."""
 
     def make(corpus, *, jobs: int | None = None) -> CorpusEvaluator:
@@ -92,6 +114,7 @@ def make_evaluator(bench_jobs):
             corpus,
             jobs=bench_jobs if jobs is None else jobs,
             bench_dir=BENCH_DIRECTORY,
+            store=artifact_store,
         )
 
     return make

@@ -14,11 +14,16 @@ entry points:
   against.
 * :mod:`repro.eval` — runners and renderers for every table and figure of the
   paper's evaluation.
+* :mod:`repro.core.registry` — the declarative detector registry every
+  consumer looks detectors up in.
+* :mod:`repro.store` — the content-addressed artifact store that makes warm
+  re-runs of corpora, detector results and scenario matrices near-instant.
 """
 
 from repro.core import FetchDetector, FetchOptions
 from repro.elf import BinaryImage
+from repro.store import ArtifactStore
 
 __version__ = "1.0.0"
 
-__all__ = ["FetchDetector", "FetchOptions", "BinaryImage", "__version__"]
+__all__ = ["FetchDetector", "FetchOptions", "BinaryImage", "ArtifactStore", "__version__"]

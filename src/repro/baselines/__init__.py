@@ -40,14 +40,11 @@ __all__ = [
 
 
 def all_comparison_tools() -> list[BaselineTool]:
-    """The eight baseline tools of Table III, in the paper's column order."""
-    return [
-        DyninstLike(),
-        BapLike(),
-        Radare2Like(),
-        NucleusLike(),
-        IdaLike(),
-        BinaryNinjaLike(),
-        GhidraLike(),
-        AngrLike(),
-    ]
+    """The eight baseline tools of Table III, in the paper's column order.
+
+    Registry-driven: the list is exactly the detectors registered with
+    ``comparison=True``, instantiated with default options.
+    """
+    from repro.core.registry import detectors
+
+    return [info.create() for info in detectors(comparison=True)]

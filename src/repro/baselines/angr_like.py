@@ -16,6 +16,7 @@ from repro.analysis.linearscan import linear_scan_gaps
 from repro.analysis.padding import PADDING_BYTES
 from repro.baselines.base import BaselineTool
 from repro.core.context import AnalysisContext, context_for
+from repro.core.registry import register_detector
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -32,10 +33,17 @@ class AngrOptions:
     linear_scan: bool = False
 
 
+@register_detector(
+    "angr",
+    options=AngrOptions,
+    order=80,
+    comparison=True,
+    needs_eh_frame=True,
+    cet_aware=True,
+    description="FDE+symbol seeds, recursion, alignment and merge heuristics",
+)
 class AngrLike(BaselineTool):
     """A strategy-faithful model of angr's CFGFast function detection."""
-
-    name = "angr"
 
     def __init__(self, options: AngrOptions | None = None):
         self.options = options or AngrOptions()

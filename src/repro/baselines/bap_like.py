@@ -12,13 +12,20 @@ from __future__ import annotations
 from repro.analysis.linearscan import linear_scan_gaps
 from repro.analysis.prologue import select_prologue_patterns
 from repro.baselines.base import BaselineTool
+from repro.core.registry import register_detector
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
 
+@register_detector(
+    "bap",
+    order=20,
+    comparison=True,
+    cet_aware=True,
+    description="whole-text byte signatures plus speculative linear sweep",
+)
 class BapLike(BaselineTool):
-    name = "bap"
 
     def detect(
         self, image: BinaryImage, context: AnalysisContext | None = None

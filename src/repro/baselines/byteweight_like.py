@@ -12,13 +12,19 @@ from __future__ import annotations
 
 from repro.analysis.prologue import PROLOGUE_PATTERNS, select_prologue_patterns
 from repro.baselines.base import BaselineTool
+from repro.core.registry import register_detector
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
 
+@register_detector(
+    "byteweight",
+    order=90,
+    cet_aware=True,
+    description="learned byte-prefix signatures over the whole text section",
+)
 class ByteWeightLike(BaselineTool):
-    name = "byteweight"
 
     #: patterns can be extended by "training" (see :meth:`train`)
     def __init__(self, patterns: tuple[bytes, ...] = PROLOGUE_PATTERNS):

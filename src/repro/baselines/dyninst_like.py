@@ -10,13 +10,20 @@ prologue patterns, recursing from every match (§II-B).
 from __future__ import annotations
 
 from repro.baselines.base import BaselineTool
+from repro.core.registry import register_detector
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
 
+@register_detector(
+    "dyninst",
+    order=10,
+    comparison=True,
+    cet_aware=True,
+    description="entry-point recursion plus repeated gap prologue matching",
+)
 class DyninstLike(BaselineTool):
-    name = "dyninst"
 
     #: number of prologue-matching + recursion rounds
     rounds: int = 2

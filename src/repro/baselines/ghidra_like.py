@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.analysis.noreturn import NoreturnAnalysis
 from repro.baselines.base import BaselineTool
 from repro.core.context import AnalysisContext, context_for
+from repro.core.registry import register_detector
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
@@ -30,10 +31,17 @@ class GhidraOptions:
     tail_call_heuristic: bool = False
 
 
+@register_detector(
+    "ghidra",
+    options=GhidraOptions,
+    order=70,
+    comparison=True,
+    needs_eh_frame=True,
+    cet_aware=True,
+    description="FDE+symbol seeds, recursion, thunks and optional repair",
+)
 class GhidraLike(BaselineTool):
     """A strategy-faithful model of GHIDRA's function detection."""
-
-    name = "ghidra"
 
     def __init__(self, options: GhidraOptions | None = None):
         self.options = options or GhidraOptions()

@@ -11,13 +11,20 @@ code (Table III).
 from __future__ import annotations
 
 from repro.baselines.base import BaselineTool
+from repro.core.registry import register_detector
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
 
+@register_detector(
+    "ida",
+    order=50,
+    comparison=True,
+    cet_aware=True,
+    description="conservative recursion, aligned pointer scan, strict prologues",
+)
 class IdaLike(BaselineTool):
-    name = "ida"
 
     def detect(
         self, image: BinaryImage, context: AnalysisContext | None = None

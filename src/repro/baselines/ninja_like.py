@@ -10,13 +10,20 @@ from __future__ import annotations
 
 from repro.analysis.linearscan import linear_scan_gaps
 from repro.baselines.base import BaselineTool
+from repro.core.registry import register_detector
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
 
+@register_detector(
+    "ninja",
+    order=60,
+    comparison=True,
+    cet_aware=True,
+    description="recursion, pointer sweep, prologues and linear sweep",
+)
 class BinaryNinjaLike(BaselineTool):
-    name = "ninja"
 
     def detect(
         self, image: BinaryImage, context: AnalysisContext | None = None

@@ -14,6 +14,7 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.baselines.base import BaselineTool
+from repro.core.registry import register_detector
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
@@ -21,8 +22,14 @@ from repro.x86.disassembler import decode_range
 from repro.x86.instruction import Instruction
 
 
+@register_detector(
+    "nucleus",
+    order=40,
+    comparison=True,
+    cet_aware=True,
+    description="linear sweep grouped into weakly-connected CFG components",
+)
 class NucleusLike(BaselineTool):
-    name = "nucleus"
 
     def detect(
         self, image: BinaryImage, context: AnalysisContext | None = None

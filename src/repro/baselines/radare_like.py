@@ -9,13 +9,20 @@ pointers, so address-taken-only functions are missed (§VI, Table III).
 from __future__ import annotations
 
 from repro.baselines.base import BaselineTool
+from repro.core.registry import register_detector
 from repro.core.context import AnalysisContext, context_for
 from repro.core.results import DetectionResult
 from repro.elf.image import BinaryImage
 
 
+@register_detector(
+    "radare2",
+    order=30,
+    comparison=True,
+    cet_aware=True,
+    description="entry-point recursion plus aligned prelude matching",
+)
 class Radare2Like(BaselineTool):
-    name = "radare2"
 
     def detect(
         self, image: BinaryImage, context: AnalysisContext | None = None

@@ -1,21 +1,32 @@
 """Command-line interface: ``fetch-detect``.
 
-Analyses one or more x86-64 ELF binaries with the FETCH pipeline and prints
-the detected function starts, optionally comparing them against each
-binary's symbol table.  With several binaries, ``--jobs N`` analyses them in
-parallel; output stays in argument order.
+Analyses one or more x86-64 ELF binaries with any registered detector
+(FETCH by default) and prints the detected function starts, optionally
+comparing them against each binary's symbol table.  With several binaries,
+``--jobs N`` / ``--workers N`` analyse them in parallel; output stays in
+argument order.  ``--json`` switches to machine-readable output (per-binary
+starts, per-stage attribution, timings); the default text output is
+unchanged.  With a store (``--store`` or ``REPRO_STORE_DIR``), detection
+runs are cached by file content and reused.
+
+``fetch-detect corpus build|info`` manages the content-addressed corpus
+store used by the evaluation stack.
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import json
+import os
 import sys
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
 
-from repro.core import AnalysisContext, FetchDetector, FetchOptions
-from repro.core.results import DetectionResult
+from repro.core import AnalysisContext, FetchOptions
+from repro.core.registry import create_detector, detector_info, detectors
 from repro.elf.image import BinaryImage
+from repro.eval.executor import parallel_map
+from repro.store import ArtifactStore, blob_digest, options_digest, stable_digest
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,13 +36,30 @@ def build_parser() -> argparse.ArgumentParser:
             "Detect function starts in an x86-64 System-V ELF binary using "
             "exception-handling information (FETCH, DSN 2021)."
         ),
+        epilog=(
+            "corpus store management: 'fetch-detect corpus build|info' "
+            "(see 'fetch-detect corpus --help')"
+        ),
     )
-    parser.add_argument("binary", help="path to the ELF binary to analyse")
+    parser.add_argument(
+        "binary", nargs="?", help="path to the ELF binary to analyse"
+    )
     parser.add_argument(
         "more_binaries",
         nargs="*",
         metavar="binary",
         help="additional binaries to analyse (see --jobs)",
+    )
+    parser.add_argument(
+        "--detector",
+        default="fetch",
+        metavar="NAME",
+        help="registered detector to run (default: fetch; see --list-detectors)",
+    )
+    parser.add_argument(
+        "--list-detectors",
+        action="store_true",
+        help="list the registered detectors and exit",
     )
     parser.add_argument(
         "--jobs",
@@ -49,6 +77,27 @@ def build_parser() -> argparse.ArgumentParser:
             "analyse up to N binaries in parallel worker processes "
             "(bypasses the GIL; takes precedence over --jobs)"
         ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of text",
+    )
+    parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "cache detection results in an artifact store (default directory "
+            "from REPRO_STORE_DIR, else .repro-store)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the artifact store even when REPRO_STORE_DIR is set",
     )
     parser.add_argument(
         "--no-recursion",
@@ -83,43 +132,138 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _analyse_one(path: str, args: argparse.Namespace) -> tuple[int, list[str], list[str]]:
-    """Analyse ``path``; returns (exit code, stdout lines, stderr lines)."""
+def _make_detector(args: argparse.Namespace):
+    """Instantiate the requested detector (FETCH honours the stage flags)."""
+    if args.detector == "fetch":
+        options = FetchOptions(
+            use_symbols=args.use_symbols,
+            use_recursion=not args.no_recursion,
+            use_pointer_validation=not args.no_xref,
+            use_tail_call_analysis=not args.no_tailcall,
+        )
+        return create_detector("fetch", options)
+    return create_detector(args.detector)
+
+
+def _resolve_store(args: argparse.Namespace) -> ArtifactStore | None:
+    """The artifact store selected by ``--store``/``--no-store``/environment."""
+    if args.no_store:
+        return None
+    if args.store is not None:
+        return ArtifactStore(args.store or None)
+    if os.environ.get("REPRO_STORE_DIR"):
+        return ArtifactStore()
+    return None
+
+
+def _analyse_one(path: str, args: argparse.Namespace) -> tuple[int, list[str], list[str], dict]:
+    """Analyse ``path``; returns (exit code, stdout lines, stderr lines, record)."""
     out: list[str] = []
     err: list[str] = []
+    record: dict = {"path": path, "detector": args.detector}
+    timings: dict[str, float] = {}
+    record["timings_seconds"] = timings
+
+    start = time.perf_counter()
     try:
-        image = BinaryImage.from_file(path)
+        with open(path, "rb") as stream:
+            data = stream.read()
+        image = BinaryImage.from_bytes(data, name=path)
     except (OSError, ValueError) as error:
         err.append(f"error: cannot load {path}: {error}")
-        return 1, out, err
+        record["error"] = str(error)
+        return 1, out, err, record
+    timings["load"] = time.perf_counter() - start
 
+    warnings: list[str] = []
     if not image.has_eh_frame:
-        err.append(
+        warnings.append(
             "warning: binary has no .eh_frame section; FDE-based detection "
             "will find nothing"
         )
+    err.extend(warnings)
+    record["warnings"] = warnings
 
-    options = FetchOptions(
-        use_symbols=args.use_symbols,
-        use_recursion=not args.no_recursion,
-        use_pointer_validation=not args.no_xref,
-        use_tail_call_analysis=not args.no_tailcall,
+    detector = _make_detector(args)
+    store = _resolve_store(args)
+    detection_key = None
+    cached = None
+    if store is not None:
+        detection_key = stable_digest(
+            {
+                "file": blob_digest(data),
+                "detector": args.detector,
+                "options": options_digest(detector),
+            }
+        )
+        cached = store.load_detection(detection_key)
+
+    start = time.perf_counter()
+    if cached is not None:
+        starts = cached["function_starts"]
+        stages = cached["stages"]
+        removed = cached["removed_by_stage"]
+        merged = {int(part): parent for part, parent in cached["merged_parts"].items()}
+    else:
+        result = detector.detect(image, AnalysisContext(image))
+        starts = sorted(result.function_starts)
+        stages = {name: sorted(added) for name, added in result.added_by_stage.items()}
+        removed = {name: sorted(gone) for name, gone in result.removed_by_stage.items()}
+        merged = dict(result.merged_parts)
+        if store is not None and detection_key is not None:
+            store.save_detection(
+                detection_key,
+                {
+                    "path": path,
+                    "detector": args.detector,
+                    "function_starts": starts,
+                    "stages": stages,
+                    "removed_by_stage": removed,
+                    "merged_parts": {str(part): parent for part, parent in merged.items()},
+                },
+            )
+    timings["detect"] = time.perf_counter() - start
+
+    record.update(
+        {
+            "cached": cached is not None,
+            "count": len(starts),
+            "function_starts": list(starts),
+            "stages": stages,
+            "removed_by_stage": removed,
+            "merged_parts": {hex(part): hex(parent) for part, parent in sorted(merged.items())},
+        }
     )
-    context = AnalysisContext(image)
-    result = FetchDetector(options).detect(image, context)
-    out.extend(_render_result(path, image, result, args))
-    return 0, out, err
+    symbol_comparison: dict[str, int] | None = None
+    if args.compare_symbols and image.has_symbols:
+        symbol_starts = {s.address for s in image.function_symbols}
+        detected = set(starts)
+        symbol_comparison = {
+            "symbol_count": len(symbol_starts),
+            "detected_count": len(detected),
+            "symbols_not_detected": len(symbol_starts - detected),
+            "detected_not_in_symbols": len(detected - symbol_starts),
+        }
+        record["symbols"] = symbol_comparison
+
+    if not args.json:
+        out.extend(_render_text(path, starts, stages, merged, args, symbol_comparison))
+    return 0, out, err, record
 
 
-def _render_result(
-    path: str, image: BinaryImage, result: DetectionResult, args: argparse.Namespace
+def _render_text(
+    path: str,
+    starts: list[int],
+    stages: dict[str, list[int]],
+    merged_parts: dict[int, int],
+    args: argparse.Namespace,
+    symbol_comparison: dict[str, int] | None,
 ) -> list[str]:
     lines: list[str] = []
-    starts = sorted(result.function_starts)
     lines.append(f"# {len(starts)} function starts detected in {path}")
     stage_of: dict[int, str] = {}
     if args.stages:
-        for stage, added in result.added_by_stage.items():
+        for stage, added in stages.items():
             for address in added:
                 stage_of.setdefault(address, stage)
     for address in starts:
@@ -128,45 +272,183 @@ def _render_result(
         else:
             lines.append(f"{address:#x}")
 
-    if result.merged_parts:
-        lines.append(f"# merged {len(result.merged_parts)} non-contiguous part(s):")
-        for part, parent in sorted(result.merged_parts.items()):
+    if merged_parts:
+        lines.append(f"# merged {len(merged_parts)} non-contiguous part(s):")
+        for part, parent in sorted(merged_parts.items()):
             lines.append(f"#   {part:#x} -> part of function {parent:#x}")
 
-    if args.compare_symbols and image.has_symbols:
-        symbol_starts = {s.address for s in image.function_symbols}
-        detected = set(starts)
-        lines.append(f"# symbols: {len(symbol_starts)}, detected: {len(detected)}")
-        lines.append(f"#   symbols not detected : {len(symbol_starts - detected)}")
-        lines.append(f"#   detected not in symbols: {len(detected - symbol_starts)}")
+    if symbol_comparison is not None:
+        lines.append(
+            f"# symbols: {symbol_comparison['symbol_count']}, "
+            f"detected: {symbol_comparison['detected_count']}"
+        )
+        lines.append(
+            f"#   symbols not detected : {symbol_comparison['symbols_not_detected']}"
+        )
+        lines.append(
+            f"#   detected not in symbols: {symbol_comparison['detected_not_in_symbols']}"
+        )
     return lines
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    paths = [args.binary, *args.more_binaries]
-    jobs = max(1, args.jobs)
-    workers = max(0, args.workers)
+def _render_detector_list() -> list[str]:
+    lines = [f"{'name':<12} {'options':<16} {'eh_frame':>8} {'cet':>4}  description"]
+    for info in detectors():
+        options = info.options_cls.__name__ if info.options_cls else "-"
+        lines.append(
+            f"{info.name:<12} {options:<16} "
+            f"{'yes' if info.needs_eh_frame else 'no':>8} "
+            f"{'yes' if info.cet_aware else 'no':>4}  {info.description}"
+        )
+    return lines
 
-    if workers > 1 and len(paths) > 1:
-        # CPU-bound analysis scales with processes, not GIL-bound threads.
-        analyse = functools.partial(_analyse_one, args=args)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(analyse, paths))
-    elif jobs > 1 and len(paths) > 1:
-        with ThreadPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(lambda p: _analyse_one(p, args), paths))
-    else:
-        outcomes = [_analyse_one(path, args) for path in paths]
+
+def _is_corpus_command(argv: list[str]) -> bool:
+    """Whether ``argv`` invokes the ``corpus`` subcommand.
+
+    Only a recognised subcommand word after ``corpus`` routes there, so a
+    binary that happens to be *named* ``corpus`` can still be analysed
+    (``fetch-detect corpus`` with such a file present analyses the file).
+    """
+    if not argv or argv[0] != "corpus":
+        return False
+    rest = argv[1:]
+    if rest and rest[0] in ("build", "info", "-h", "--help"):
+        return True
+    # bare "fetch-detect corpus": prefer an existing file of that name,
+    # otherwise show the subcommand usage error
+    return not rest and not os.path.exists("corpus")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if _is_corpus_command(argv):
+        return corpus_main(argv[1:])
+
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_detectors:
+        for line in _render_detector_list():
+            print(line)
+        return 0
+    if args.binary is None:
+        parser.error("the following arguments are required: binary")
+    try:
+        detector_info(args.detector)
+    except KeyError as error:
+        parser.error(str(error))
+
+    paths = [args.binary, *args.more_binaries]
+    analyse = functools.partial(_analyse_one, args=args)
+    outcomes = parallel_map(
+        analyse, paths, jobs=max(1, args.jobs), workers=max(0, args.workers)
+    )
 
     status = 0
-    for code, out, err in outcomes:
+    records = []
+    for code, out, err, record in outcomes:
         status = max(status, code)
+        records.append(record)
         for line in err:
             print(line, file=sys.stderr)
-        for line in out:
-            print(line)
+        if not args.json:
+            for line in out:
+                print(line)
+    if args.json:
+        print(json.dumps({"binaries": records, "status": status}, indent=2, sort_keys=True))
     return status
+
+
+# ----------------------------------------------------------------------
+# fetch-detect corpus build|info
+# ----------------------------------------------------------------------
+
+def build_corpus_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fetch-detect corpus",
+        description="Build and inspect the content-addressed corpus store.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser(
+        "build", help="build a corpus and persist it in the store"
+    )
+    build.add_argument(
+        "--kind",
+        choices=("scenario-matrix", "selfbuilt", "wild"),
+        default="scenario-matrix",
+        help="which corpus to build (default: scenario-matrix)",
+    )
+    build.add_argument("--seed", type=int, default=2021)
+    build.add_argument("--scale", type=float, default=1.0)
+    build.add_argument(
+        "--programs", type=int, default=4, help="binaries per scenario row"
+    )
+    build.add_argument(
+        "--max-binaries", type=int, default=None, help="cap the corpus size"
+    )
+    build.add_argument("--store", default=None, metavar="DIR")
+
+    info = subparsers.add_parser("info", help="list the corpora in the store")
+    info.add_argument("--store", default=None, metavar="DIR")
+    return parser
+
+
+def corpus_main(argv: list[str]) -> int:
+    args = build_corpus_parser().parse_args(argv)
+    store = ArtifactStore(args.store) if args.store else ArtifactStore()
+
+    if args.command == "info":
+        manifests = store.corpus_manifests()
+        print(f"# store {store.root} — {len(manifests)} corpus manifest(s)")
+        for manifest in manifests:
+            binaries = manifest.get("binaries", [])
+            functions = sum(
+                len(row["ground_truth"]["functions"]) for row in binaries
+            )
+            params = manifest.get("params", {})
+            brief = ", ".join(
+                f"{key}={params[key]}"
+                for key in ("scenario", "seed", "scale", "programs", "max_binaries")
+                if key in params and params[key] is not None
+            )
+            print(
+                f"{manifest['key'][:12]}  {manifest.get('kind', '?'):<16} "
+                f"{len(binaries):>4} binaries {functions:>6} functions  [{brief}]"
+            )
+        return 0
+
+    from repro.synth import (
+        build_scenario_matrix_corpora,
+        build_selfbuilt_corpus,
+        build_wild_corpus,
+    )
+
+    before = store.stats_snapshot()
+    if args.kind == "scenario-matrix":
+        corpora = build_scenario_matrix_corpora(
+            seed=args.seed, scale=args.scale, programs=args.programs, store=store
+        )
+        rows = {name: len(binaries) for name, binaries in corpora.items()}
+    elif args.kind == "selfbuilt":
+        corpus = build_selfbuilt_corpus(
+            seed=args.seed, scale=args.scale, max_binaries=args.max_binaries, store=store
+        )
+        rows = {"selfbuilt": len(corpus)}
+    else:
+        corpus = build_wild_corpus(
+            seed=args.seed, scale=args.scale, max_binaries=args.max_binaries, store=store
+        )
+        rows = {"wild": len(corpus)}
+    after = store.stats_snapshot()
+
+    reused = after["corpus_hits"] - before["corpus_hits"]
+    built = after["corpus_misses"] - before["corpus_misses"]
+    for name, count in rows.items():
+        print(f"{name}: {count} binaries")
+    print(f"# store {store.root}: {reused} corpus manifest(s) reused, {built} built")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

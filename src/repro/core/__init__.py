@@ -17,6 +17,14 @@ This package implements the paper's contribution:
 
 from repro.core.context import AnalysisContext, ContextStats, DecodeCache
 from repro.core.fde_source import extract_fde_starts, fde_symbol_coverage
+from repro.core.registry import (
+    DetectorInfo,
+    create_detector,
+    detector_info,
+    detector_names,
+    detectors,
+    register_detector,
+)
 from repro.core.results import DetectionResult
 from repro.core.tailcall import TailCallOutcome, detect_tail_calls_and_merge
 from repro.core.pipeline import FetchDetector, FetchOptions
@@ -25,6 +33,12 @@ __all__ = [
     "AnalysisContext",
     "ContextStats",
     "DecodeCache",
+    "DetectorInfo",
+    "create_detector",
+    "detector_info",
+    "detector_names",
+    "detectors",
+    "register_detector",
     "extract_fde_starts",
     "fde_symbol_coverage",
     "DetectionResult",

@@ -23,6 +23,7 @@ from repro.analysis.recursive import RecursiveDisassembler
 from repro.analysis.xrefs import collect_potential_pointers, validate_function_pointer
 from repro.core.context import AnalysisContext, context_for
 from repro.core.fde_source import extract_fde_starts
+from repro.core.registry import register_detector
 from repro.core.results import DetectionResult
 from repro.core.tailcall import detect_tail_calls_and_merge
 from repro.elf.image import BinaryImage
@@ -50,10 +51,15 @@ class FetchOptions:
     fallback_entry_seed: bool = True
 
 
+@register_detector(
+    "fetch",
+    options=FetchOptions,
+    order=100,
+    needs_eh_frame=True,
+    description="FDE seeds, safe recursion, pointer validation, Algorithm 1",
+)
 class FetchDetector:
     """Function-start detection with exception-handling information."""
-
-    name = "fetch"
 
     def __init__(self, options: FetchOptions | None = None):
         self.options = options or FetchOptions()

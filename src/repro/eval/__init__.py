@@ -5,8 +5,10 @@ in :mod:`repro.eval.runner` and a renderer in :mod:`repro.eval.tables`; the
 ``benchmarks/`` directory wires them to pytest-benchmark targets.
 """
 
+from repro.eval.executor import parallel_map
 from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
 from repro.eval.runner import (
+    MATRIX_DETECTORS,
     CorpusEvaluator,
     ScenarioMatrix,
     StrategyOutcome,
@@ -39,7 +41,9 @@ __all__ = [
     "BinaryMetrics",
     "CorpusEvaluator",
     "CorpusMetrics",
+    "MATRIX_DETECTORS",
     "ScenarioMatrix",
+    "parallel_map",
     "compute_metrics",
     "run_scenario_matrix",
     "StrategyOutcome",

@@ -1,0 +1,44 @@
+"""Shared thread/process fan-out used by the CLI and the corpus evaluator.
+
+One helper owns the backend choice that used to be duplicated between
+``repro.cli`` and :class:`repro.eval.runner.CorpusEvaluator`: a process pool
+when real CPU parallelism is requested (``workers``), a thread pool when
+only I/O-and-GIL-bound concurrency is wanted (``jobs``), and a plain serial
+loop otherwise.  Results always come back in input order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, TypeVar
+
+_Item = TypeVar("_Item")
+
+
+def parallel_map(
+    fn: Callable[[_Item], Any],
+    items: Iterable[_Item],
+    *,
+    jobs: int = 1,
+    workers: int = 0,
+    pool: Executor | None = None,
+) -> list[Any]:
+    """Ordered ``map(fn, items)`` over the selected backend.
+
+    ``workers > 1`` (with more than one item) selects the process backend:
+    ``fn`` and the items must be picklable.  A persistent ``pool`` may be
+    supplied to amortise worker start-up across calls — it is *not* shut
+    down here; without one a pool is created and torn down per call.
+    Otherwise ``jobs > 1`` fans out over a thread pool, and anything else
+    runs serially.
+    """
+    items = list(items)
+    if workers > 1 and len(items) > 1:
+        if pool is not None:
+            return list(pool.map(fn, items))
+        with ProcessPoolExecutor(max_workers=workers) as process_pool:
+            return list(process_pool.map(fn, items))
+    if jobs > 1 and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as thread_pool:
+            return list(thread_pool.map(fn, items))
+    return [fn(item) for item in items]

@@ -22,7 +22,7 @@ import pickle
 import threading
 import time
 from collections import defaultdict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
@@ -33,7 +33,6 @@ from repro.analysis.stackheight import StackHeightAnalysis
 from repro.baselines import (
     AngrLike,
     AngrOptions,
-    ByteWeightLike,
     GhidraLike,
     GhidraOptions,
     all_comparison_tools,
@@ -41,7 +40,10 @@ from repro.baselines import (
 from repro.core import FetchDetector, FetchOptions
 from repro.core.context import AnalysisContext
 from repro.core.fde_source import extract_fde_starts, fde_symbol_coverage
+from repro.core.registry import detectors as registered_detectors
+from repro.eval.executor import parallel_map
 from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
+from repro.store import ArtifactStore, options_digest
 from repro.synth.compiler import SyntheticBinary
 from repro.synth.profiles import WildProfile
 
@@ -125,6 +127,14 @@ class CorpusEvaluator:
     detector run decodes from scratch.  It exists so benchmarks can measure
     the before/after of decode-once sharing; results are identical either
     way.
+
+    ``store`` plugs in an :class:`~repro.store.ArtifactStore`:
+    :meth:`run_detector` then skips binaries whose
+    :class:`~repro.eval.metrics.BinaryMetrics` are already cached for the
+    (binary digest, detector name, options digest) triple, and :meth:`map`
+    callers may pass a ``cache_key`` to persist arbitrary per-binary values.
+    :attr:`detector_runs` counts the per-binary detector invocations that
+    actually happened, so warm runs can assert they did none.
     """
 
     def __init__(
@@ -135,6 +145,7 @@ class CorpusEvaluator:
         workers: int = 0,
         bench_dir: str | os.PathLike | None = None,
         share_contexts: bool = True,
+        store: ArtifactStore | None = None,
     ):
         self.corpus = list(corpus)
         self.jobs = max(1, int(jobs))
@@ -145,6 +156,9 @@ class CorpusEvaluator:
         self.workers = max(0, int(workers))
         self.bench_dir = Path(bench_dir) if bench_dir is not None else None
         self.share_contexts = share_contexts
+        self.store = store
+        #: per-binary detector invocations performed (cache hits excluded)
+        self.detector_runs = 0
         self.timings: dict[str, float] = {}
         self._contexts: dict[int, AnalysisContext] = {}
         self._lock = threading.Lock()
@@ -218,6 +232,7 @@ class CorpusEvaluator:
         items: Iterable[SyntheticBinary] | None = None,
         *,
         fn_args: tuple = (),
+        cache_key: str | None = None,
     ) -> list[Any]:
         """``fn(binary, context, *fn_args)`` over ``items`` (default: the corpus).
 
@@ -225,18 +240,41 @@ class CorpusEvaluator:
         ``workers > 1`` and a picklable, module-level ``fn`` over corpus
         members, the call fans out over the process pool; anything else
         (closures, foreign binaries) uses the thread pool / serial path.
+
+        With a ``store`` and a ``cache_key``, per-binary values are persisted
+        and reloaded on later runs; ``fn`` is then only called for binaries
+        without a cached value.  The caller owns the key: it must change
+        whenever ``fn``'s meaning or ``fn_args`` change.
         """
         binaries = self.corpus if items is None else list(items)
+        if self.store is None or cache_key is None:
+            return self._map_compute(fn, binaries, fn_args)
+        cached = [self.store.load_value(binary, cache_key) for binary in binaries]
+        missing = [binary for binary, (hit, _) in zip(binaries, cached) if not hit]
+        computed = iter(self._map_compute(fn, missing, fn_args))
+        results = []
+        for binary, (hit, value) in zip(binaries, cached):
+            if not hit:
+                value = next(computed)
+                self.store.save_value(binary, cache_key, value)
+            results.append(value)
+        return results
+
+    def _map_compute(
+        self, fn: Callable[..., Any], binaries: list[Any], fn_args: tuple
+    ) -> list[Any]:
         if self._can_use_processes(fn, binaries, fn_args):
-            pool = self._process_pool()
             payloads = [
                 (fn, self._corpus_index[id(binary)], fn_args) for binary in binaries
             ]
-            return list(pool.map(_process_invoke, payloads))
-        if self.jobs <= 1 or len(binaries) <= 1:
-            return [fn(binary, self.context_for(binary), *fn_args) for binary in binaries]
-        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            return list(pool.map(lambda b: fn(b, self.context_for(b), *fn_args), binaries))
+            return parallel_map(
+                _process_invoke, payloads, workers=self.workers, pool=self._process_pool()
+            )
+        return parallel_map(
+            lambda binary: fn(binary, self.context_for(binary), *fn_args),
+            binaries,
+            jobs=self.jobs,
+        )
 
     def _can_use_processes(
         self, fn: Callable[..., Any], binaries: list[Any], fn_args: tuple
@@ -275,31 +313,60 @@ class CorpusEvaluator:
         detector_factory: Callable[[], Any],
         items: Iterable[SyntheticBinary] | None = None,
     ) -> CorpusMetrics:
-        """Run one detector (a fresh instance per binary) over the corpus."""
-        if self.workers > 1:
-            # Process backend: one detector instance, pickled per task.
-            # Detector runs are stateless, so this is result-identical to the
-            # fresh-instance-per-binary thread path.
-            per = self.map(_detect_binary_metrics, items, fn_args=(detector_factory(),))
+        """Run one detector (a fresh instance per binary) over the corpus.
+
+        With a ``store``, binaries whose metrics are already cached for this
+        (detector, options) pair are skipped entirely — only the misses are
+        detected, and their metrics are persisted for the next run.
+        """
+        binaries = self.corpus if items is None else list(items)
+        if self.store is not None:
+            probe = detector_factory()
+            name = getattr(probe, "name", type(probe).__name__)
+            opts = options_digest(probe)
+            cached = [self.store.load_result(b, name, opts) for b in binaries]
+            missing = [b for b, m in zip(binaries, cached) if m is None]
+            computed = iter(self._detect_metrics(detector_factory, missing))
+            per = []
+            for binary, binary_metrics in zip(binaries, cached):
+                if binary_metrics is None:
+                    binary_metrics = next(computed)
+                    self.store.save_result(binary, name, opts, binary_metrics)
+                per.append(binary_metrics)
         else:
-
-            def one(binary: SyntheticBinary, context: AnalysisContext) -> BinaryMetrics:
-                result = detector_factory().detect(binary.image, context)
-                return compute_metrics(binary.ground_truth, result.function_starts)
-
-            per = self.map(one, items)
+            per = self._detect_metrics(detector_factory, binaries)
 
         metrics = CorpusMetrics()
         for binary_metrics in per:
             metrics.add(binary_metrics)
         return metrics
 
+    def _detect_metrics(
+        self, detector_factory: Callable[[], Any], binaries: list[SyntheticBinary]
+    ) -> list[BinaryMetrics]:
+        """Actually run the detector over ``binaries`` (no result cache)."""
+        if not binaries:
+            return []
+        self.detector_runs += len(binaries)
+        if self.workers > 1:
+            # Process backend: one detector instance, pickled per task.
+            # Detector runs are stateless, so this is result-identical to the
+            # fresh-instance-per-binary thread path.
+            return self.map(_detect_binary_metrics, binaries, fn_args=(detector_factory(),))
+
+        def one(binary: SyntheticBinary, context: AnalysisContext) -> BinaryMetrics:
+            result = detector_factory().detect(binary.image, context)
+            return compute_metrics(binary.ground_truth, result.function_starts)
+
+        return self.map(one, binaries)
+
     def fde_only_metrics(
         self, items: Iterable[SyntheticBinary] | None = None
     ) -> CorpusMetrics:
         """The FDE-only rung shared by every Figure 5 ladder."""
         metrics = CorpusMetrics()
-        for binary_metrics in self.map(_fde_only_binary_metrics, items):
+        per = self.map(_fde_only_binary_metrics, items, cache_key="fde-only-metrics:1")
+        for binary_metrics in per:
             metrics.add(binary_metrics)
         return metrics
 
@@ -821,10 +888,11 @@ def run_timing_study(
 # ----------------------------------------------------------------------
 
 #: The ten detectors of the scenario matrix: the paper's eight comparison
-#: tools, the ByteWeight model, and FETCH itself.
+#: tools, the ByteWeight model, and FETCH itself.  Registry-driven — these
+#: are *classes* straight from :mod:`repro.core.registry`; nothing is
+#: instantiated at import time.
 MATRIX_DETECTORS: tuple[tuple[str, Callable[[], Any]], ...] = tuple(
-    [(cls.name, cls) for cls in (*map(type, all_comparison_tools()), ByteWeightLike)]
-    + [("fetch", FetchDetector)]
+    (info.name, info.cls) for info in registered_detectors(matrix=True)
 )
 
 
@@ -837,6 +905,19 @@ class ScenarioMatrix:
     :attr:`cells` (``{scenario: {tool: metrics summary}}``) and per-cell
     wall-clock :attr:`timings`; :meth:`write_bench` records everything as
     ``BENCH_<name>.json``.
+
+    The detector set comes from the registry (``matrix=True`` entries);
+    ``include``/``exclude`` narrow it by name and ``include_fetch=False`` is
+    shorthand for excluding FETCH.
+
+    With a ``store``, every completed cell is persisted under a key derived
+    from (scenario, detector, options digest, the row's binary digests).
+    ``resume`` (default on when a store is given) reloads completed cells on
+    a later run and only computes the missing or invalidated ones — a warm
+    re-run of an unchanged matrix performs **zero** detector invocations
+    (:attr:`detector_invocations` counts the ones that happened).  Deleting
+    a cell file (:meth:`ArtifactStore.cell_path` of :attr:`cell_keys`)
+    invalidates exactly that cell.
     """
 
     def __init__(
@@ -846,37 +927,96 @@ class ScenarioMatrix:
         jobs: int = 1,
         workers: int = 0,
         include_fetch: bool = True,
+        include: Iterable[str] | None = None,
+        exclude: Iterable[str] | None = None,
         bench_dir: str | os.PathLike | None = None,
+        store: ArtifactStore | None = None,
+        resume: bool | None = None,
     ):
         self.corpora = {name: list(binaries) for name, binaries in corpora.items()}
         self.jobs = max(1, int(jobs))
         self.workers = max(0, int(workers))
         self.bench_dir = Path(bench_dir) if bench_dir is not None else None
-        self.detectors = [
-            (name, factory)
-            for name, factory in MATRIX_DETECTORS
-            if include_fetch or name != "fetch"
+        excluded = set(exclude or ())
+        if not include_fetch:
+            excluded.add("fetch")
+        self.detectors: list[tuple[str, Callable[[], Any]]] = [
+            (info.name, info.cls)
+            for info in registered_detectors(
+                matrix=True, include=include, exclude=excluded or None
+            )
         ]
+        self.store = store
+        self.resume = (store is not None) if resume is None else (resume and store is not None)
+        #: per-binary detector invocations actually performed by :meth:`run`
+        self.detector_invocations = 0
+        #: store hit/miss deltas of the last :meth:`run` call (run-scoped,
+        #: not store-lifetime, so the BENCH record describes *this* run)
+        self.run_store_stats: dict[str, int] = {}
+        #: ``(scenario, tool) -> store cell key`` for every cell of the run
+        self.cell_keys: dict[tuple[str, str], str] = {}
         self.cells: dict[str, dict[str, dict[str, float | int]]] = {}
         self.timings: dict[str, float] = {}
         self.cache_stats: dict[str, dict[str, float | int]] = {}
 
     def run(self) -> dict[str, dict[str, dict[str, float | int]]]:
         """Evaluate all cells; returns ``{scenario: {tool: summary}}``."""
+        stats_before = self.store.stats_snapshot() if self.store is not None else {}
         for scenario, corpus in self.corpora.items():
-            evaluator = CorpusEvaluator(corpus, jobs=self.jobs, workers=self.workers)
-            try:
-                row: dict[str, dict[str, float | int]] = {}
-                for tool_name, factory in self.detectors:
-                    metrics = evaluator.timed(
-                        f"{scenario}:{tool_name}", evaluator.run_detector, factory
+            row: dict[str, dict[str, float | int]] = {}
+            pending: list[tuple[str, Callable[[], Any]]] = []
+            digests = (
+                [self.store.binary_digest(binary) for binary in corpus]
+                if self.store is not None
+                else []
+            )
+            for tool_name, factory in self.detectors:
+                if self.store is not None:
+                    key = self.store.cell_key(
+                        scenario, tool_name, digests, options_digest(factory())
                     )
-                    row[tool_name] = metrics.summary()
-                self.cells[scenario] = row
-                self.timings.update(evaluator.timings)
-                self.cache_stats[scenario] = evaluator.context_stats()
-            finally:
-                evaluator.close()
+                    self.cell_keys[(scenario, tool_name)] = key
+                    if self.resume:
+                        cell = self.store.load_cell(key)
+                        if cell is not None:
+                            row[tool_name] = cell["summary"]
+                            self.timings[f"{scenario}:{tool_name}"] = cell["seconds"]
+                            continue
+                pending.append((tool_name, factory))
+
+            if pending:
+                evaluator = CorpusEvaluator(
+                    corpus, jobs=self.jobs, workers=self.workers, store=self.store
+                )
+                try:
+                    for tool_name, factory in pending:
+                        label = f"{scenario}:{tool_name}"
+                        metrics = evaluator.timed(label, evaluator.run_detector, factory)
+                        row[tool_name] = metrics.summary()
+                        if self.store is not None:
+                            self.store.save_cell(
+                                self.cell_keys[(scenario, tool_name)],
+                                {
+                                    "scenario": scenario,
+                                    "detector": tool_name,
+                                    "summary": row[tool_name],
+                                    "seconds": evaluator.timings[label],
+                                },
+                            )
+                    self.timings.update(evaluator.timings)
+                    self.cache_stats[scenario] = evaluator.context_stats()
+                    self.detector_invocations += evaluator.detector_runs
+                finally:
+                    evaluator.close()
+
+            # cells keep registry column order even when cache hits and
+            # computed cells interleave
+            self.cells[scenario] = {name: row[name] for name, _ in self.detectors}
+        if self.store is not None:
+            self.run_store_stats = {
+                key: value - stats_before.get(key, 0)
+                for key, value in self.store.stats_snapshot().items()
+            }
         return self.cells
 
     def write_bench(
@@ -898,6 +1038,11 @@ class ScenarioMatrix:
             "timings_seconds": {k: round(v, 6) for k, v in self.timings.items()},
             "cache": self.cache_stats,
         }
+        if self.store is not None:
+            record["store"] = {
+                "detector_invocations": self.detector_invocations,
+                **self.run_store_stats,
+            }
         if extra:
             record["extra"] = extra
         self.bench_dir.mkdir(parents=True, exist_ok=True)
@@ -912,10 +1057,17 @@ def run_scenario_matrix(
     jobs: int = 1,
     workers: int = 0,
     include_fetch: bool = True,
+    store: ArtifactStore | None = None,
+    resume: bool | None = None,
 ) -> dict[str, dict[str, dict[str, float | int]]]:
     """Convenience wrapper: build a :class:`ScenarioMatrix`, run it, return cells."""
     matrix = ScenarioMatrix(
-        corpora, jobs=jobs, workers=workers, include_fetch=include_fetch
+        corpora,
+        jobs=jobs,
+        workers=workers,
+        include_fetch=include_fetch,
+        store=store,
+        resume=resume,
     )
     return matrix.run()
 

@@ -1,0 +1,31 @@
+"""Content-addressed artifact store for corpora, results and matrix cells.
+
+See :mod:`repro.store.store` for the on-disk layout.  Typical wiring::
+
+    from repro.store import ArtifactStore
+    from repro.synth import build_scenario_matrix_corpora
+    from repro.eval import ScenarioMatrix
+
+    store = ArtifactStore("~/.cache/fetch-repro")      # or REPRO_STORE_DIR
+    corpora = build_scenario_matrix_corpora(store=store)   # built once
+    matrix = ScenarioMatrix(corpora, store=store)          # resumable
+    matrix.run()                                           # warm: no detector runs
+"""
+
+from repro.store.digest import (
+    blob_digest,
+    canonical_json,
+    options_digest,
+    stable_digest,
+)
+from repro.store.store import STORE_FORMAT, ArtifactStore, default_store_root
+
+__all__ = [
+    "ArtifactStore",
+    "STORE_FORMAT",
+    "default_store_root",
+    "blob_digest",
+    "canonical_json",
+    "options_digest",
+    "stable_digest",
+]

@@ -1,0 +1,72 @@
+"""Stable content digests for cache keys.
+
+Every cache key in the artifact store is the SHA-256 of a *canonical JSON*
+rendering of the keyed value: dataclasses become sorted-key objects, enums
+their values, sets sorted lists, bytes hex strings.  The rendering is
+deterministic across processes and Python versions, which is what makes the
+store shareable between runs (and, eventually, machines).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+
+def _plain(value: Any) -> Any:
+    """Lower ``value`` to JSON-serialisable plain data, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: _plain(getattr(value, f.name)) for f in dataclasses.fields(value)}
+        return {"__dataclass__": type(value).__qualname__, **fields}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return sorted(_plain(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, (bytes, bytearray)):
+        # type-tagged so b"\x01" and the string "01" cannot collide
+        return {"__bytes__": bytes(value).hex()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for digesting")
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON rendering used for digests."""
+    return json.dumps(_plain(value), sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(value: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def blob_digest(data: bytes) -> str:
+    """SHA-256 hex digest of raw bytes (content address of a blob)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def options_digest(detector: Any) -> str:
+    """Digest of a detector instance's configuration and logic version.
+
+    Keys on the detector class, its registered ``cache_version`` (bumped
+    when the detector's logic changes, so warm stores never serve results
+    of an older implementation) and whatever configuration the instance
+    carries: an ``options`` dataclass (FETCH, GHIDRA, ANGR) and/or trained
+    ``patterns`` (ByteWeight).  Default-configured instances of the same
+    class always share one digest.
+    """
+    record: dict[str, Any] = {
+        "class": f"{type(detector).__module__}.{type(detector).__qualname__}",
+        "version": getattr(detector, "cache_version", None),
+    }
+    for attribute in ("options", "patterns"):
+        if hasattr(detector, attribute):
+            record[attribute] = getattr(detector, attribute)
+    return stable_digest(record)

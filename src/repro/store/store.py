@@ -1,0 +1,403 @@
+"""Content-addressed, on-disk artifact store.
+
+The store persists every expensive artifact of the evaluation stack so warm
+re-runs reuse instead of recompute:
+
+* **blobs** (``objects/``) — raw content-addressed bytes: serialized ELF
+  images and pickled program plans, named by their SHA-256.
+* **corpus manifests** (``corpora/``) — one JSON document per built corpus,
+  keyed by a digest of the build parameters (plan parameters, scenario,
+  generator version).  A manifest row references each binary's ELF blob and
+  plan blob and inlines its ground truth.
+* **detector results** (``results/``) — one :class:`BinaryMetrics` record
+  per (binary digest, detector name, options digest) triple.
+* **map values** (``values/``) — pickled per-binary values for opt-in
+  :meth:`CorpusEvaluator.map` caching.
+* **matrix cells** (``matrix/``) — one summary record per
+  (scenario, detector) cell of a :class:`~repro.eval.runner.ScenarioMatrix`
+  run; deleting a cell file invalidates exactly that cell.
+
+All writes are atomic (tempfile + rename) so concurrent runs over one store
+never observe torn artifacts.  The store root defaults to the
+``REPRO_STORE_DIR`` environment variable, falling back to ``.repro-store``
+in the working directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.store.digest import blob_digest, stable_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.eval.metrics import BinaryMetrics
+    from repro.synth.compiler import SyntheticBinary
+
+#: Bumped when the on-disk layout changes; part of every key, so a layout
+#: change invalidates old stores instead of misreading them.
+STORE_FORMAT = 1
+
+#: Attribute attached to binaries whose ELF digest is already known (set on
+#: store load and after the first digest computation), so reloaded binaries
+#: are never re-serialized just to learn their own digest.
+_DIGEST_ATTRIBUTE = "_store_elf_digest"
+
+
+def default_store_root() -> Path:
+    """The store root from ``REPRO_STORE_DIR``, or ``.repro-store``."""
+    return Path(os.environ.get("REPRO_STORE_DIR") or ".repro-store")
+
+
+class ArtifactStore:
+    """Content-addressed cache of corpora, detector results and matrix cells."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None else default_store_root()
+        self.stats: dict[str, int] = {
+            "corpus_hits": 0,
+            "corpus_misses": 0,
+            "result_hits": 0,
+            "result_misses": 0,
+            "value_hits": 0,
+            "value_misses": 0,
+            "cell_hits": 0,
+            "cell_misses": 0,
+            "detection_hits": 0,
+            "detection_misses": 0,
+        }
+
+    # -- plumbing -------------------------------------------------------
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temporary = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(data)
+            os.replace(temporary, path)
+        except BaseException:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise
+
+    def _record_path(self, namespace: str, key: str) -> Path:
+        return self.root / namespace / key[:2] / f"{key}.json"
+
+    def _load_record(self, namespace: str, key: str) -> dict[str, Any] | None:
+        path = self._record_path(namespace, key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if record.get("format") != STORE_FORMAT:
+            return None
+        return record
+
+    def _save_record(self, namespace: str, key: str, record: dict[str, Any]) -> Path:
+        record = {"format": STORE_FORMAT, **record}
+        path = self._record_path(namespace, key)
+        self._atomic_write(path, (json.dumps(record, indent=2, sort_keys=True) + "\n").encode())
+        return path
+
+    # -- blobs ----------------------------------------------------------
+    def blob_path(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / digest
+
+    def put_blob(self, data: bytes) -> str:
+        digest = blob_digest(data)
+        path = self.blob_path(digest)
+        if not path.exists():
+            self._atomic_write(path, data)
+        return digest
+
+    def get_blob(self, digest: str) -> bytes | None:
+        try:
+            return self.blob_path(digest).read_bytes()
+        except OSError:
+            return None
+
+    # -- binary identity ------------------------------------------------
+    def binary_digest(self, binary: "SyntheticBinary") -> str:
+        """The content digest of ``binary``'s serialized ELF image.
+
+        Computed once per binary object and cached on it; binaries loaded
+        from a manifest carry the digest of the stored blob, so they are
+        never re-serialized (re-serializing a *parsed* image is not
+        byte-stable, the blob is the identity).
+        """
+        cached = getattr(binary, _DIGEST_ATTRIBUTE, None)
+        if cached is not None:
+            return cached
+        digest = blob_digest(self._elf_bytes(binary))
+        setattr(binary, _DIGEST_ATTRIBUTE, digest)
+        return digest
+
+    @staticmethod
+    def _elf_bytes(binary: "SyntheticBinary") -> bytes:
+        if binary.elf_bytes:
+            return binary.elf_bytes
+        from repro.elf.writer import write_elf
+
+        return write_elf(binary.image.elf)
+
+    # -- corpora --------------------------------------------------------
+    def corpus_key(self, kind: str, params: dict[str, Any]) -> str:
+        """Content key of a corpus: build kind + every build parameter."""
+        return stable_digest({"kind": kind, "params": params, "format": STORE_FORMAT})
+
+    def has_corpus(self, key: str) -> bool:
+        return self._load_record("corpora", key) is not None
+
+    def save_corpus(
+        self,
+        key: str,
+        kind: str,
+        params: dict[str, Any],
+        entries: Sequence[Any],
+    ) -> Path:
+        """Persist a built corpus under ``key``.
+
+        ``entries`` are :class:`SyntheticBinary` objects or
+        ``(WildProfile, SyntheticBinary)`` pairs (the wild corpus shape);
+        :meth:`load_corpus` returns the same shape.
+        """
+        rows = []
+        for entry in entries:
+            profile, binary = entry if isinstance(entry, tuple) else (None, entry)
+            elf_digest = self.put_blob(self._elf_bytes(binary))
+            setattr(binary, _DIGEST_ATTRIBUTE, elf_digest)
+            plan_digest = self.put_blob(pickle.dumps(binary.plan, protocol=4))
+            rows.append(
+                {
+                    "name": binary.name,
+                    "elf": elf_digest,
+                    "plan": plan_digest,
+                    "ground_truth": _ground_truth_to_record(binary.ground_truth),
+                    "wild_profile": dataclasses.asdict(profile) if profile else None,
+                }
+            )
+        return self._save_record(
+            "corpora",
+            key,
+            {"kind": kind, "params": _jsonable(params), "binaries": rows},
+        )
+
+    def load_corpus(self, key: str) -> list[Any] | None:
+        """Reload the corpus stored under ``key`` (``None`` on a miss).
+
+        A manifest whose blobs have been garbage-collected counts as a miss,
+        never as an error.
+        """
+        record = self._load_record("corpora", key)
+        if record is None:
+            self.stats["corpus_misses"] += 1
+            return None
+        from repro.elf.image import BinaryImage
+        from repro.synth.compiler import SyntheticBinary
+        from repro.synth.profiles import WildProfile
+
+        entries: list[Any] = []
+        for row in record["binaries"]:
+            elf_data = self.get_blob(row["elf"])
+            plan_data = self.get_blob(row["plan"])
+            if elf_data is None or plan_data is None:
+                self.stats["corpus_misses"] += 1
+                return None
+            binary = SyntheticBinary(
+                name=row["name"],
+                image=BinaryImage.from_bytes(elf_data, name=row["name"]),
+                ground_truth=_ground_truth_from_record(row["ground_truth"]),
+                plan=pickle.loads(plan_data),
+            )
+            setattr(binary, _DIGEST_ATTRIBUTE, row["elf"])
+            if row.get("wild_profile"):
+                entries.append((WildProfile(**row["wild_profile"]), binary))
+            else:
+                entries.append(binary)
+        self.stats["corpus_hits"] += 1
+        return entries
+
+    def corpus_manifests(self) -> list[dict[str, Any]]:
+        """Every stored corpus manifest (for ``fetch-detect corpus info``)."""
+        manifests = []
+        directory = self.root / "corpora"
+        if not directory.is_dir():
+            return manifests
+        for path in sorted(directory.glob("*/*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            record["key"] = path.stem
+            manifests.append(record)
+        return manifests
+
+    # -- detector results -----------------------------------------------
+    def _result_key(self, binary: "SyntheticBinary", detector: str, options_digest: str) -> str:
+        return stable_digest(
+            {
+                "binary": self.binary_digest(binary),
+                "detector": detector,
+                "options": options_digest,
+                "format": STORE_FORMAT,
+            }
+        )
+
+    def load_result(
+        self, binary: "SyntheticBinary", detector: str, options_digest: str
+    ) -> "BinaryMetrics | None":
+        record = self._load_record("results", self._result_key(binary, detector, options_digest))
+        if record is None:
+            self.stats["result_misses"] += 1
+            return None
+        self.stats["result_hits"] += 1
+        return _metrics_from_record(record["metrics"])
+
+    def save_result(
+        self,
+        binary: "SyntheticBinary",
+        detector: str,
+        options_digest: str,
+        metrics: "BinaryMetrics",
+    ) -> Path:
+        return self._save_record(
+            "results",
+            self._result_key(binary, detector, options_digest),
+            {"detector": detector, "metrics": _metrics_to_record(metrics)},
+        )
+
+    # -- opt-in map-value cache -----------------------------------------
+    def _value_path(self, binary: "SyntheticBinary", cache_key: str) -> Path:
+        key = stable_digest(
+            {"binary": self.binary_digest(binary), "key": cache_key, "format": STORE_FORMAT}
+        )
+        return self.root / "values" / key[:2] / f"{key}.pkl"
+
+    def load_value(self, binary: "SyntheticBinary", cache_key: str) -> tuple[bool, Any]:
+        """``(hit, value)`` for a cached per-binary map value."""
+        try:
+            data = self._value_path(binary, cache_key).read_bytes()
+        except OSError:
+            self.stats["value_misses"] += 1
+            return False, None
+        self.stats["value_hits"] += 1
+        return True, pickle.loads(data)
+
+    def save_value(self, binary: "SyntheticBinary", cache_key: str, value: Any) -> None:
+        self._atomic_write(self._value_path(binary, cache_key), pickle.dumps(value, protocol=4))
+
+    # -- scenario-matrix cells ------------------------------------------
+    def cell_key(
+        self,
+        scenario: str,
+        detector: str,
+        binary_digests: Sequence[str],
+        options_digest: str,
+    ) -> str:
+        """Content key of one matrix cell.
+
+        The binary digests are part of the key, so any change to the corpus
+        row (different scale, seed, generator version) invalidates the cell
+        automatically.
+        """
+        return stable_digest(
+            {
+                "scenario": scenario,
+                "detector": detector,
+                "binaries": list(binary_digests),
+                "options": options_digest,
+                "format": STORE_FORMAT,
+            }
+        )
+
+    def cell_path(self, key: str) -> Path:
+        return self._record_path("matrix", key)
+
+    def load_cell(self, key: str) -> dict[str, Any] | None:
+        record = self._load_record("matrix", key)
+        if record is None:
+            self.stats["cell_misses"] += 1
+            return None
+        self.stats["cell_hits"] += 1
+        return record
+
+    def save_cell(self, key: str, record: dict[str, Any]) -> Path:
+        return self._save_record("matrix", key, record)
+
+    # -- CLI detection records ------------------------------------------
+    def load_detection(self, key: str) -> dict[str, Any] | None:
+        """A cached ``fetch-detect`` run (starts, stages, merged parts)."""
+        record = self._load_record("detections", key)
+        if record is None:
+            self.stats["detection_misses"] += 1
+            return None
+        self.stats["detection_hits"] += 1
+        return record
+
+    def save_detection(self, key: str, record: dict[str, Any]) -> Path:
+        return self._save_record("detections", key, record)
+
+    # -- introspection --------------------------------------------------
+    def stats_snapshot(self) -> dict[str, int]:
+        """A copy of the hit/miss counters (for ``BENCH_*.json`` records)."""
+        return dict(self.stats)
+
+
+# ----------------------------------------------------------------------
+# Record (de)serialization
+# ----------------------------------------------------------------------
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort plain-JSON rendering of parameter values for manifests."""
+    from repro.store.digest import _plain
+
+    return _plain(value)
+
+
+def _ground_truth_to_record(truth: Any) -> dict[str, Any]:
+    return {
+        "name": truth.name,
+        "scenario": truth.scenario,
+        "functions": [dataclasses.asdict(info) for info in truth.functions],
+    }
+
+
+def _ground_truth_from_record(record: dict[str, Any]) -> Any:
+    from repro.synth.groundtruth import FunctionInfo, GroundTruth
+
+    return GroundTruth(
+        name=record["name"],
+        scenario=record["scenario"],
+        functions=[FunctionInfo(**fields) for fields in record["functions"]],
+    )
+
+
+def _metrics_to_record(metrics: "BinaryMetrics") -> dict[str, Any]:
+    return {
+        "binary_name": metrics.binary_name,
+        "true_count": metrics.true_count,
+        "detected_count": metrics.detected_count,
+        "false_positives": sorted(metrics.false_positives),
+        "false_negatives": sorted(metrics.false_negatives),
+        "cold_part_false_positives": sorted(metrics.cold_part_false_positives),
+    }
+
+
+def _metrics_from_record(record: dict[str, Any]) -> "BinaryMetrics":
+    from repro.eval.metrics import BinaryMetrics
+
+    return BinaryMetrics(
+        binary_name=record["binary_name"],
+        true_count=record["true_count"],
+        detected_count=record["detected_count"],
+        false_positives=set(record["false_positives"]),
+        false_negatives=set(record["false_negatives"]),
+        cold_part_false_positives=set(record["cold_part_false_positives"]),
+    )

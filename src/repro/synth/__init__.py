@@ -30,6 +30,7 @@ from repro.synth.plan import FunctionPlan, ProgramPlan
 from repro.synth.workloads import SCENARIO_NAMES, plan_program
 from repro.synth.compiler import SyntheticBinary, compile_program
 from repro.synth.corpus import (
+    GENERATOR_VERSION,
     build_scenario_corpus,
     build_scenario_matrix_corpora,
     build_selfbuilt_corpus,
@@ -50,6 +51,7 @@ __all__ = [
     "FunctionPlan",
     "ProgramPlan",
     "SCENARIO_NAMES",
+    "GENERATOR_VERSION",
     "plan_program",
     "SyntheticBinary",
     "compile_program",

@@ -13,6 +13,7 @@ handful of binaries while benchmarks use larger sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.synth.compiler import SyntheticBinary, compile_program
 from repro.synth.profiles import (
@@ -22,6 +23,14 @@ from repro.synth.profiles import (
     default_profile,
 )
 from repro.synth.workloads import SCENARIO_NAMES, WorkloadTraits, plan_program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store import ArtifactStore
+
+#: Version of the synthetic generator pipeline (planner + compiler).  Part of
+#: every store corpus key: bump it whenever plan or code generation changes
+#: shape, so stale cached corpora are rebuilt instead of reused.
+GENERATOR_VERSION = "1"
 
 #: Human-readable descriptions of the scenario matrix rows.
 SCENARIO_DESCRIPTIONS: dict[str, str] = {
@@ -141,6 +150,25 @@ WILD_SOFTWARE: tuple[WildProfile, ...] = tuple(
 )
 
 
+def _cached_build(
+    store: "ArtifactStore | None",
+    kind: str,
+    params: dict[str, Any],
+    build: Any,
+) -> list:
+    """Reload the corpus for (``kind``, ``params``) or build and persist it."""
+    if store is None:
+        return build()
+    params = {**params, "generator_version": GENERATOR_VERSION}
+    key = store.corpus_key(kind, params)
+    cached = store.load_corpus(key)
+    if cached is not None:
+        return cached
+    entries = build()
+    store.save_corpus(key, kind, params, entries)
+    return entries
+
+
 def build_selfbuilt_corpus(
     *,
     seed: int = 2021,
@@ -149,42 +177,60 @@ def build_selfbuilt_corpus(
     opt_levels: tuple[OptLevel, ...] = (OptLevel.O2, OptLevel.O3, OptLevel.OS, OptLevel.OFAST),
     max_binaries: int | None = None,
     projects: tuple[ProjectSpec, ...] = SELFBUILT_PROJECTS,
+    store: "ArtifactStore | None" = None,
 ) -> list[SyntheticBinary]:
     """Build the self-built (Dataset 2) corpus.
 
     ``scale`` shrinks both the number of programs per project and the mean
     function count, which keeps unit tests fast; the benchmarks use the
     default scale.
+
+    With a ``store``, the built corpus (ELF images, ground truth, plans) is
+    persisted under a digest of every build parameter and the generator
+    version, and later calls with identical parameters reload it instead of
+    re-planning and re-compiling.
     """
-    binaries: list[SyntheticBinary] = []
-    for project in projects:
-        program_count = max(1, round(project.programs * scale))
-        for program_index in range(program_count):
-            traits = project.traits
-            if scale < 1.0:
-                traits = WorkloadTraits(
-                    cold_split_multiplier=traits.cold_split_multiplier,
-                    has_assembly=traits.has_assembly,
-                    uses_function_pointers=traits.uses_function_pointers,
-                    is_cpp=traits.is_cpp,
-                    mean_functions=max(20, int(traits.mean_functions * scale)),
-                )
-            for compiler in compilers:
-                for opt_level in opt_levels:
-                    profile = default_profile(compiler, opt_level)
-                    name = (
-                        f"{project.name}-{program_index}:{compiler.value}:{opt_level.value}"
+    params: dict[str, Any] = {
+        "seed": seed,
+        "scale": scale,
+        "compilers": [compiler.value for compiler in compilers],
+        "opt_levels": [level.value for level in opt_levels],
+        "max_binaries": max_binaries,
+        "projects": projects,
+    }
+
+    def build() -> list[SyntheticBinary]:
+        binaries: list[SyntheticBinary] = []
+        for project in projects:
+            program_count = max(1, round(project.programs * scale))
+            for program_index in range(program_count):
+                traits = project.traits
+                if scale < 1.0:
+                    traits = WorkloadTraits(
+                        cold_split_multiplier=traits.cold_split_multiplier,
+                        has_assembly=traits.has_assembly,
+                        uses_function_pointers=traits.uses_function_pointers,
+                        is_cpp=traits.is_cpp,
+                        mean_functions=max(20, int(traits.mean_functions * scale)),
                     )
-                    plan = plan_program(
-                        name,
-                        profile,
-                        seed=f"{seed}:{name}",
-                        traits=traits,
-                    )
-                    binaries.append(compile_program(plan, keep_elf_bytes=False))
-                    if max_binaries is not None and len(binaries) >= max_binaries:
-                        return binaries
-    return binaries
+                for compiler in compilers:
+                    for opt_level in opt_levels:
+                        profile = default_profile(compiler, opt_level)
+                        name = (
+                            f"{project.name}-{program_index}:{compiler.value}:{opt_level.value}"
+                        )
+                        plan = plan_program(
+                            name,
+                            profile,
+                            seed=f"{seed}:{name}",
+                            traits=traits,
+                        )
+                        binaries.append(compile_program(plan, keep_elf_bytes=False))
+                        if max_binaries is not None and len(binaries) >= max_binaries:
+                            return binaries
+        return binaries
+
+    return _cached_build(store, "selfbuilt", params, build)
 
 
 def build_scenario_corpus(
@@ -195,35 +241,49 @@ def build_scenario_corpus(
     programs: int = 4,
     compilers: tuple[CompilerFamily, ...] = (CompilerFamily.GCC, CompilerFamily.CLANG),
     opt_levels: tuple[OptLevel, ...] = (OptLevel.O2, OptLevel.O3),
+    store: "ArtifactStore | None" = None,
 ) -> list[SyntheticBinary]:
     """Build one row of the scenario matrix: ``programs`` binaries of one scenario.
 
     Programs rotate deterministically through the compiler/opt-level grid so
     even a small row mixes toolchain idioms.  ``scale`` shrinks the mean
-    function count, as in :func:`build_selfbuilt_corpus`.
+    function count, as in :func:`build_selfbuilt_corpus`; ``store`` reuses a
+    previously built row with identical parameters.
     """
     if scenario not in SCENARIO_NAMES:
         raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIO_NAMES}")
-    binaries: list[SyntheticBinary] = []
-    for index in range(programs):
-        compiler = compilers[index % len(compilers)]
-        opt_level = opt_levels[(index // len(compilers)) % len(opt_levels)]
-        profile = default_profile(compiler, opt_level)
-        traits = WorkloadTraits(
-            cold_split_multiplier=1.0,
-            uses_function_pointers=True,
-            mean_functions=max(20, int(90 * scale)),
-        )
-        name = f"{scenario}-{index}:{compiler.value}:{opt_level.value}"
-        plan = plan_program(
-            name,
-            profile,
-            seed=f"{seed}:scenario:{name}",
-            traits=traits,
-            scenario=scenario,
-        )
-        binaries.append(compile_program(plan, keep_elf_bytes=False))
-    return binaries
+    params: dict[str, Any] = {
+        "scenario": scenario,
+        "seed": seed,
+        "scale": scale,
+        "programs": programs,
+        "compilers": [compiler.value for compiler in compilers],
+        "opt_levels": [level.value for level in opt_levels],
+    }
+
+    def build() -> list[SyntheticBinary]:
+        binaries: list[SyntheticBinary] = []
+        for index in range(programs):
+            compiler = compilers[index % len(compilers)]
+            opt_level = opt_levels[(index // len(compilers)) % len(opt_levels)]
+            profile = default_profile(compiler, opt_level)
+            traits = WorkloadTraits(
+                cold_split_multiplier=1.0,
+                uses_function_pointers=True,
+                mean_functions=max(20, int(90 * scale)),
+            )
+            name = f"{scenario}-{index}:{compiler.value}:{opt_level.value}"
+            plan = plan_program(
+                name,
+                profile,
+                seed=f"{seed}:scenario:{name}",
+                traits=traits,
+                scenario=scenario,
+            )
+            binaries.append(compile_program(plan, keep_elf_bytes=False))
+        return binaries
+
+    return _cached_build(store, "scenario", params, build)
 
 
 def build_scenario_matrix_corpora(
@@ -232,11 +292,16 @@ def build_scenario_matrix_corpora(
     scale: float = 1.0,
     programs: int = 4,
     scenarios: tuple[str, ...] = SCENARIO_NAMES,
+    store: "ArtifactStore | None" = None,
 ) -> dict[str, list[SyntheticBinary]]:
-    """Build the full scenario matrix: ``{scenario: [binaries]}``."""
+    """Build the full scenario matrix: ``{scenario: [binaries]}``.
+
+    Each scenario row is cached independently in the ``store``, so widening
+    the scenario set only builds the new rows.
+    """
     return {
         scenario: build_scenario_corpus(
-            scenario, seed=seed, scale=scale, programs=programs
+            scenario, seed=seed, scale=scale, programs=programs, store=store
         )
         for scenario in scenarios
     }
@@ -247,29 +312,39 @@ def build_wild_corpus(
     seed: int = 2021,
     scale: float = 1.0,
     max_binaries: int | None = None,
+    store: "ArtifactStore | None" = None,
 ) -> list[tuple[WildProfile, SyntheticBinary]]:
     """Build the wild (Dataset 1) corpus.
 
     Returns pairs of the wild profile (Table I row) and the synthetic binary
     standing in for it.  Binaries without symbols are stripped.
     """
-    results: list[tuple[WildProfile, SyntheticBinary]] = []
-    for wild in WILD_SOFTWARE:
-        compiler = CompilerFamily.GCC if "gcc" in wild.compiler_note or not wild.compiler_note else CompilerFamily.GCC
-        profile = default_profile(compiler, OptLevel.O2)
-        traits = WorkloadTraits(
-            cold_split_multiplier=1.5 if wild.language == "c++" else 0.5,
-            is_cpp=wild.language == "c++",
-            mean_functions=max(30, int(wild.function_count * scale)),
-        )
-        plan = plan_program(
-            wild.software.replace(" ", "_"),
-            profile,
-            seed=f"{seed}:wild:{wild.software}",
-            traits=traits,
-            stripped=not wild.has_symbols,
-        )
-        results.append((wild, compile_program(plan, keep_elf_bytes=False)))
-        if max_binaries is not None and len(results) >= max_binaries:
-            break
-    return results
+    params: dict[str, Any] = {
+        "seed": seed,
+        "scale": scale,
+        "max_binaries": max_binaries,
+    }
+
+    def build() -> list[tuple[WildProfile, SyntheticBinary]]:
+        results: list[tuple[WildProfile, SyntheticBinary]] = []
+        for wild in WILD_SOFTWARE:
+            compiler = CompilerFamily.GCC if "gcc" in wild.compiler_note or not wild.compiler_note else CompilerFamily.GCC
+            profile = default_profile(compiler, OptLevel.O2)
+            traits = WorkloadTraits(
+                cold_split_multiplier=1.5 if wild.language == "c++" else 0.5,
+                is_cpp=wild.language == "c++",
+                mean_functions=max(30, int(wild.function_count * scale)),
+            )
+            plan = plan_program(
+                wild.software.replace(" ", "_"),
+                profile,
+                seed=f"{seed}:wild:{wild.software}",
+                traits=traits,
+                stripped=not wild.has_symbols,
+            )
+            results.append((wild, compile_program(plan, keep_elf_bytes=False)))
+            if max_binaries is not None and len(results) >= max_binaries:
+                break
+        return results
+
+    return _cached_build(store, "wild", params, build)

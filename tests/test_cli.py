@@ -77,3 +77,114 @@ def test_cli_warns_without_eh_frame(tmp_path, capsys):
     path.write_bytes(write_elf(ElfFile(sections=[text], entry_point=0x401000)))
     assert main([str(path)]) == 0
     assert "no .eh_frame" in capsys.readouterr().err
+
+
+def test_cli_multiple_binaries_thread_pool(elf_path, capsys):
+    assert main([elf_path, elf_path, "--jobs", "2"]) == 0
+    output = capsys.readouterr().out
+    assert output.count("function starts detected") == 2
+
+
+def test_cli_json_output_matches_text(elf_path, capsys):
+    import json as json_module
+
+    assert main([elf_path]) == 0
+    text = capsys.readouterr().out
+    text_starts = [
+        int(line.split()[0], 16)
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    ]
+
+    assert main([elf_path, "--json"]) == 0
+    document = json_module.loads(capsys.readouterr().out)
+    record = document["binaries"][0]
+    assert record["function_starts"] == text_starts
+    assert record["count"] == len(text_starts)
+    assert record["detector"] == "fetch"
+    assert "fde" in record["stages"]
+    assert set(record["timings_seconds"]) == {"load", "detect"}
+    assert record["cached"] is False
+
+
+def test_cli_detector_flag_runs_any_registered_tool(elf_path, capsys):
+    assert main([elf_path, "--detector", "ida"]) == 0
+    assert "function starts detected" in capsys.readouterr().out
+
+    with pytest.raises(SystemExit):
+        main([elf_path, "--detector", "objdump"])
+
+
+def test_cli_list_detectors(capsys):
+    assert main(["--list-detectors"]) == 0
+    output = capsys.readouterr().out
+    for name in ("fetch", "ghidra", "byteweight"):
+        assert name in output
+
+
+def test_cli_store_caches_detection(elf_path, tmp_path, capsys):
+    import json as json_module
+
+    store_dir = str(tmp_path / "store")
+    assert main([elf_path]) == 0
+    plain = capsys.readouterr().out
+
+    assert main([elf_path, "--store", store_dir]) == 0
+    cold = capsys.readouterr().out
+    assert cold == plain, "store must not change the text output"
+
+    assert main([elf_path, "--store", store_dir, "--json"]) == 0
+    record = json_module.loads(capsys.readouterr().out)["binaries"][0]
+    assert record["cached"] is True
+
+    # cached runs render --stages identically to uncached ones
+    assert main([elf_path, "--stages"]) == 0
+    uncached_stages = capsys.readouterr().out
+    assert main([elf_path, "--stages", "--store", store_dir]) == 0
+    assert capsys.readouterr().out == uncached_stages
+
+
+def test_cli_no_store_overrides_environment(elf_path, tmp_path, monkeypatch, capsys):
+    import json as json_module
+
+    store_dir = tmp_path / "envstore"
+    monkeypatch.setenv("REPRO_STORE_DIR", str(store_dir))
+    assert main([elf_path, "--no-store", "--json"]) == 0
+    capsys.readouterr()
+    assert not store_dir.exists()
+
+    assert main([elf_path, "--json"]) == 0
+    record = json_module.loads(capsys.readouterr().out)["binaries"][0]
+    assert record["cached"] is False and store_dir.exists()
+
+
+def test_cli_corpus_build_and_info(tmp_path, capsys):
+    store_dir = str(tmp_path / "corpus-store")
+    args = ["corpus", "build", "--kind", "scenario-matrix", "--scale", "0.1",
+            "--programs", "1", "--store", store_dir]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "6 built" in first
+
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "6 corpus manifest(s) reused" in second
+
+    assert main(["corpus", "info", "--store", store_dir]) == 0
+    info = capsys.readouterr().out
+    assert "6 corpus manifest(s)" in info
+    assert "scenario=vanilla" in info
+
+
+def test_cli_binary_named_corpus_is_still_analysed(rich_binary, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "corpus").write_bytes(rich_binary.elf_bytes)
+    assert main(["corpus"]) == 0
+    assert "function starts detected in corpus" in capsys.readouterr().out
+
+
+def test_cli_bare_corpus_without_file_shows_subcommand_usage(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["corpus"])
+    assert "build" in capsys.readouterr().err

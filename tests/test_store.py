@@ -1,0 +1,267 @@
+"""Tests for the artifact store and the detector registry.
+
+Covers the satellite checklist: corpus round-trip (build → persist →
+reload → byte-identical images and equal ground truth), result-cache
+hit/miss/invalidation on options change, ``ScenarioMatrix`` resume
+recomputing only deleted cells, and registry completeness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.baselines import BaselineTool, all_comparison_tools
+from repro.core import FetchDetector, FetchOptions
+from repro.core import registry
+from repro.elf.writer import write_elf
+from repro.eval import MATRIX_DETECTORS, CorpusEvaluator, ScenarioMatrix
+from repro.store import ArtifactStore, options_digest, stable_digest
+from repro.synth import build_scenario_corpus, build_wild_corpus
+
+import repro.baselines as baselines_package
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture(scope="module")
+def tiny_params() -> dict:
+    return {"programs": 2, "scale": 0.1, "seed": 71}
+
+
+# ----------------------------------------------------------------------
+# Corpus round-trip
+# ----------------------------------------------------------------------
+
+class TestCorpusRoundTrip:
+    def test_reload_is_byte_identical_and_truth_equal(self, store, tiny_params):
+        built = build_scenario_corpus("vanilla", store=store, **tiny_params)
+        assert store.stats["corpus_misses"] == 1
+
+        reloaded = build_scenario_corpus("vanilla", store=store, **tiny_params)
+        assert store.stats["corpus_hits"] == 1
+        assert [b.name for b in reloaded] == [b.name for b in built]
+
+        for original, loaded in zip(built, reloaded):
+            # the stored blob is exactly the serialized original image
+            blob = store.get_blob(store.binary_digest(loaded))
+            assert blob == write_elf(original.image.elf)
+            # ground truth survives the JSON round trip field-for-field
+            assert dataclasses.asdict(loaded.ground_truth) == dataclasses.asdict(
+                original.ground_truth
+            )
+            # the plan round-trips (benchmarks group rows by its profile)
+            assert loaded.plan.profile == original.plan.profile
+            assert loaded.plan.scenario == original.plan.scenario
+
+    def test_reloaded_binaries_detect_identically(self, store, tiny_params):
+        built = build_scenario_corpus("cet", store=store, **tiny_params)
+        reloaded = build_scenario_corpus("cet", store=store, **tiny_params)
+        detector = FetchDetector()
+        for original, loaded in zip(built, reloaded):
+            assert (
+                detector.detect(original.image).function_starts
+                == detector.detect(loaded.image).function_starts
+            )
+
+    def test_parameter_change_is_a_different_corpus(self, store, tiny_params):
+        build_scenario_corpus("vanilla", store=store, **tiny_params)
+        other = dict(tiny_params, seed=tiny_params["seed"] + 1)
+        build_scenario_corpus("vanilla", store=store, **other)
+        assert store.stats["corpus_misses"] == 2
+        assert store.stats["corpus_hits"] == 0
+
+    def test_wild_corpus_round_trips_profiles(self, store):
+        built = build_wild_corpus(scale=0.1, max_binaries=2, seed=9, store=store)
+        reloaded = build_wild_corpus(scale=0.1, max_binaries=2, seed=9, store=store)
+        assert store.stats["corpus_hits"] == 1
+        for (profile_a, binary_a), (profile_b, binary_b) in zip(built, reloaded):
+            assert profile_a == profile_b
+            assert binary_a.name == binary_b.name
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+class TestResultCache:
+    def test_hit_miss_and_options_invalidation(self, store, tiny_params):
+        corpus = build_scenario_corpus("vanilla", store=store, **tiny_params)
+
+        cold = CorpusEvaluator(corpus, store=store)
+        metrics_cold = cold.run_detector(FetchDetector)
+        assert cold.detector_runs == len(corpus)
+        assert store.stats["result_misses"] == len(corpus)
+        assert store.stats["result_hits"] == 0
+
+        warm = CorpusEvaluator(corpus, store=store)
+        metrics_warm = warm.run_detector(FetchDetector)
+        assert warm.detector_runs == 0
+        assert store.stats["result_hits"] == len(corpus)
+        assert metrics_warm.summary() == metrics_cold.summary()
+        for a, b in zip(metrics_cold.per_binary, metrics_warm.per_binary):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+        # changing the options invalidates: distinct digest, fresh misses
+        options = FetchOptions(use_tail_call_analysis=False)
+        assert options_digest(FetchDetector(options)) != options_digest(FetchDetector())
+        changed = CorpusEvaluator(corpus, store=store)
+        changed.run_detector(lambda: FetchDetector(options))
+        assert changed.detector_runs == len(corpus)
+
+    def test_results_shared_between_rebuilt_and_reloaded_corpora(self, store, tiny_params):
+        built = build_scenario_corpus("icf", store=store, **tiny_params)
+        CorpusEvaluator(built, store=store).run_detector(FetchDetector)
+
+        reloaded = build_scenario_corpus("icf", store=store, **tiny_params)
+        warm = CorpusEvaluator(reloaded, store=store)
+        warm.run_detector(FetchDetector)
+        assert warm.detector_runs == 0, "reloaded corpus must share binary digests"
+
+    def test_map_cache_key_round_trips_values(self, store, tiny_params):
+        corpus = build_scenario_corpus("vanilla", store=store, **tiny_params)
+        evaluator = CorpusEvaluator(corpus, store=store)
+        first = evaluator.fde_only_metrics()
+        assert store.stats["value_misses"] == len(corpus)
+        again = CorpusEvaluator(corpus, store=store).fde_only_metrics()
+        assert store.stats["value_hits"] == len(corpus)
+        assert again.summary() == first.summary()
+
+
+# ----------------------------------------------------------------------
+# Resumable scenario matrix
+# ----------------------------------------------------------------------
+
+class TestScenarioMatrixResume:
+    @pytest.fixture()
+    def corpora(self, store, tiny_params):
+        return {
+            scenario: build_scenario_corpus(scenario, store=store, **tiny_params)
+            for scenario in ("vanilla", "padded")
+        }
+
+    def test_warm_run_has_zero_invocations(self, store, corpora):
+        cold = ScenarioMatrix(corpora, store=store, include=("fetch", "ida"))
+        cells = cold.run()
+        assert cold.detector_invocations == sum(len(c) for c in corpora.values()) * 2
+
+        warm = ScenarioMatrix(corpora, store=store, include=("fetch", "ida"))
+        assert warm.run() == cells
+        assert warm.detector_invocations == 0
+
+    def test_deleting_a_cell_recomputes_only_that_cell(self, store, corpora):
+        cold = ScenarioMatrix(corpora, store=store, include=("fetch", "ida"))
+        cells = cold.run()
+
+        victim = cold.cell_keys[("padded", "ida")]
+        store.cell_path(victim).unlink()
+
+        before = store.stats_snapshot()
+        resumed = ScenarioMatrix(corpora, store=store, include=("fetch", "ida"))
+        assert resumed.run() == cells
+        after = store.stats_snapshot()
+        assert after["cell_misses"] - before["cell_misses"] == 1
+        assert after["cell_hits"] - before["cell_hits"] == 3
+        # the recomputed cell reuses the per-binary result cache, so even the
+        # recomputation does not re-run any detector
+        assert resumed.detector_invocations == 0
+
+    def test_resume_false_recomputes_but_matches(self, store, corpora):
+        cells = ScenarioMatrix(corpora, store=store, include=("fetch",)).run()
+        forced = ScenarioMatrix(corpora, store=store, resume=False, include=("fetch",))
+        assert forced.run() == cells
+
+    def test_no_store_path_unchanged(self, corpora):
+        matrix = ScenarioMatrix(corpora, include=("fetch",))
+        cells = matrix.run()
+        assert matrix.detector_invocations == sum(len(c) for c in corpora.values())
+        assert set(cells) == set(corpora)
+
+
+# ----------------------------------------------------------------------
+# Registry completeness
+# ----------------------------------------------------------------------
+
+class TestRegistry:
+    def test_every_baseline_class_registered_exactly_once(self):
+        baseline_classes = [
+            value
+            for value in vars(baselines_package).values()
+            if isinstance(value, type)
+            and issubclass(value, BaselineTool)
+            and value is not BaselineTool
+        ]
+        registered = {info.cls: info.name for info in registry.detectors()}
+        for cls in baseline_classes:
+            assert cls in registered, f"{cls.__name__} is not registered"
+        # names are unique by construction (the registry is name-keyed) and
+        # every class appears under exactly one name
+        assert len(registered) == len(set(registered.values()))
+
+    def test_paper_column_order_and_flags(self):
+        assert registry.detector_names(comparison=True) == [
+            "dyninst", "bap", "radare2", "nucleus", "ida", "ninja", "ghidra", "angr",
+        ]
+        assert registry.detector_names(matrix=True)[-1] == "fetch"
+        assert registry.detector_info("fetch").needs_eh_frame
+        assert registry.detector_info("fetch").options_cls is FetchOptions
+
+    def test_all_comparison_tools_matches_registry(self):
+        assert [tool.name for tool in all_comparison_tools()] == registry.detector_names(
+            comparison=True
+        )
+
+    def test_matrix_detectors_are_uninstantiated_classes(self):
+        assert [name for name, _ in MATRIX_DETECTORS] == registry.detector_names(matrix=True)
+        for name, factory in MATRIX_DETECTORS:
+            assert isinstance(factory, type), f"{name} entry is an instance"
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError, match="unknown detector"):
+            registry.detector_info("objdump")
+        with pytest.raises(KeyError, match="unknown detector"):
+            registry.detectors(include=("objdump",))
+
+    def test_duplicate_registration_of_distinct_class_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @registry.register_detector("fetch")
+            class Impostor:  # noqa: F811 - deliberately clashing
+                pass
+
+    def test_create_detector_type_checks_options(self):
+        detector = registry.create_detector("ghidra")
+        assert detector.name == "ghidra"
+        with pytest.raises(TypeError):
+            registry.create_detector("ghidra", FetchOptions())
+
+
+# ----------------------------------------------------------------------
+# Digest stability
+# ----------------------------------------------------------------------
+
+def test_stable_digest_is_order_insensitive_and_type_aware():
+    assert stable_digest({"a": 1, "b": 2}) == stable_digest({"b": 2, "a": 1})
+    assert stable_digest({1, 2, 3}) == stable_digest({3, 2, 1})
+    assert stable_digest((1, 2)) == stable_digest([1, 2])
+    assert stable_digest(b"\x01") != stable_digest("01")
+
+
+def test_options_digest_distinguishes_classes_and_options():
+    from repro.baselines import AngrLike, GhidraLike
+
+    assert options_digest(GhidraLike()) != options_digest(AngrLike())
+    assert options_digest(FetchDetector()) == options_digest(FetchDetector())
+
+
+def test_options_digest_includes_detector_cache_version(monkeypatch):
+    from repro.baselines import IdaLike
+
+    before = options_digest(IdaLike())
+    monkeypatch.setattr(IdaLike, "cache_version", "2", raising=True)
+    assert options_digest(IdaLike()) != before, (
+        "bumping a detector's registered version must invalidate its cache keys"
+    )
