@@ -1,0 +1,122 @@
+"""Detection-service throughput — cold vs. warm batch submission.
+
+Submits the self-built corpus through a persistent
+:class:`~repro.service.DetectionService` three ways and records batch
+throughput in ``BENCH_service.json``:
+
+* **cold** — a fresh artifact store: every entry runs the detector;
+* **warm, same service** — the identical batch resubmitted to the still-
+  running service: served from the store/memo, zero detector invocations;
+* **warm, restarted service** — a brand-new service over the same store
+  (the "process restarted" case): still zero detector invocations, proving
+  the dedupe lives in the content-addressed store, not in process memory.
+
+The store for this benchmark is deliberately private and temporary (not the
+shared ``benchmarks/.store``) so the cold leg is cold on every run and the
+cold/warm ratio stays comparable run-to-run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.elf.writer import write_elf
+from repro.service import DetectionService
+from repro.store import ArtifactStore
+
+BENCH_DIRECTORY = Path(__file__).resolve().parent.parent
+
+_WORKERS = 2
+
+
+def _timed_batch(service: DetectionService, paths: list[str]) -> tuple[float, list]:
+    start = time.perf_counter()
+    results = list(service.submit(paths).results())
+    return time.perf_counter() - start, results
+
+
+def test_service_cold_vs_warm_throughput(
+    benchmark, selfbuilt_corpus_small, tmp_path_factory, report_writer
+):
+    directory = tmp_path_factory.mktemp("service-bench")
+    paths = []
+    for binary in selfbuilt_corpus_small:
+        path = directory / f"{binary.name.replace(':', '_')}.elf"
+        path.write_bytes(write_elf(binary.image.elf))
+        paths.append(str(path))
+
+    store_root = directory / "store"
+
+    def cold_batch():
+        with DetectionService(workers=_WORKERS, store=ArtifactStore(store_root)) as service:
+            seconds, results = _timed_batch(service, paths)
+            return seconds, results, service.detector_runs, service.stats()
+
+    cold_seconds, cold_results, cold_runs, cold_stats = benchmark.pedantic(
+        cold_batch, rounds=1, iterations=1
+    )
+    assert cold_runs == len(paths), "cold batch must run every detector"
+    assert all(result.ok for result in cold_results)
+
+    # warm, same store, restarted service: the store alone must dedupe
+    with DetectionService(workers=_WORKERS, store=ArtifactStore(store_root)) as warm_service:
+        warm_seconds, warm_results, = _timed_batch(warm_service, paths)[:2]
+        rerun_seconds, _ = _timed_batch(warm_service, paths)
+        warm_runs = warm_service.detector_runs
+        warm_stats = warm_service.stats()
+
+    assert warm_runs == 0, "warm batch re-ran detectors"
+    assert all(result.cached for result in warm_results)
+    assert warm_stats["store"]["detection_hits"] >= len(paths)
+    assert {result.name: result.function_starts for result in warm_results} == {
+        result.name: result.function_starts for result in cold_results
+    }, "warm results drifted from cold"
+    assert warm_seconds < cold_seconds, "a zero-work batch must beat a full one"
+
+    record = {
+        "bench": "service",
+        "created_unix": round(time.time(), 3),
+        "workers": _WORKERS,
+        "binaries": len(paths),
+        "timings_seconds": {
+            "cold_batch": round(cold_seconds, 6),
+            "warm_batch_restarted_service": round(warm_seconds, 6),
+            "warm_batch_same_service": round(rerun_seconds, 6),
+        },
+        "throughput_binaries_per_second": {
+            "cold": round(len(paths) / cold_seconds, 3),
+            "warm": round(len(paths) / warm_seconds, 3),
+        },
+        "detector_runs": {"cold": cold_runs, "warm": warm_runs},
+        "store": {
+            "cold": {
+                key: cold_stats["store"][key]
+                for key in ("detection_hits", "detection_misses")
+            },
+            "warm": {
+                key: warm_stats["store"][key]
+                for key in ("detection_hits", "detection_misses")
+            },
+        },
+        "extra": {"warm_speedup": round(cold_seconds / warm_seconds, 3)},
+    }
+    path = BENCH_DIRECTORY / "BENCH_service.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    report_writer(
+        "service",
+        "\n".join(
+            [
+                "Detection service — cold vs. warm batch throughput",
+                f"  binaries              : {len(paths)}",
+                f"  cold batch            : {cold_seconds:.3f}s "
+                f"({len(paths) / cold_seconds:.1f} bin/s, {cold_runs} detector runs)",
+                f"  warm batch (restarted): {warm_seconds:.3f}s "
+                f"({len(paths) / warm_seconds:.1f} bin/s, {warm_runs} detector runs)",
+                f"  warm batch (same svc) : {rerun_seconds:.3f}s",
+                f"  warm speedup          : {cold_seconds / warm_seconds:.1f}x",
+            ]
+        ),
+    )

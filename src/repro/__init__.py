@@ -18,12 +18,17 @@ entry points:
   consumer looks detectors up in.
 * :mod:`repro.store` — the content-addressed artifact store that makes warm
   re-runs of corpora, detector results and scenario matrices near-instant.
+* :mod:`repro.service` — the persistent detection service: batch submission
+  over a long-lived, digest-sharded worker pool with store-backed dedupe.
+
+See ``docs/ARCHITECTURE.md`` for the module-by-module guide and
+``docs/EXTENDING.md`` for worked extension examples.
 """
 
 from repro.core import FetchDetector, FetchOptions
 from repro.elf import BinaryImage
 from repro.store import ArtifactStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["FetchDetector", "FetchOptions", "BinaryImage", "ArtifactStore", "__version__"]

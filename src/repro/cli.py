@@ -10,7 +10,13 @@ unchanged.  With a store (``--store`` or ``REPRO_STORE_DIR``), detection
 runs are cached by file content and reused.
 
 ``fetch-detect corpus build|info`` manages the content-addressed corpus
-store used by the evaluation stack.
+store used by the evaluation stack.  ``fetch-detect serve`` runs the
+persistent detection service over a stdin/stdout JSON-lines protocol (see
+:mod:`repro.service.protocol`), and ``fetch-detect submit`` is its one-shot
+batch client: it submits paths through a :class:`DetectionService`, streams
+results as they complete and reports the run's cache hit/miss counters — a
+warm re-submission of an already-evaluated corpus performs zero detector
+invocations.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.core import AnalysisContext, FetchOptions
 from repro.core.registry import create_detector, detector_info, detectors
 from repro.elf.image import BinaryImage
 from repro.eval.executor import parallel_map
-from repro.store import ArtifactStore, blob_digest, options_digest, stable_digest
+from repro.store import ArtifactStore, blob_digest, options_digest
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,8 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
             "exception-handling information (FETCH, DSN 2021)."
         ),
         epilog=(
-            "corpus store management: 'fetch-detect corpus build|info' "
-            "(see 'fetch-detect corpus --help')"
+            "corpus store management: 'fetch-detect corpus build|info'; "
+            "persistent detection service: 'fetch-detect serve' (JSON-lines "
+            "protocol) and 'fetch-detect submit' (one-shot batch client)"
         ),
     )
     parser.add_argument(
@@ -189,12 +196,10 @@ def _analyse_one(path: str, args: argparse.Namespace) -> tuple[int, list[str], l
     detection_key = None
     cached = None
     if store is not None:
-        detection_key = stable_digest(
-            {
-                "file": blob_digest(data),
-                "detector": args.detector,
-                "options": options_digest(detector),
-            }
+        # shared with the detection service: a corpus analysed here is warm
+        # for `fetch-detect submit` and vice versa
+        detection_key = store.detection_key(
+            blob_digest(data), args.detector, options_digest(detector)
         )
         cached = store.load_detection(detection_key)
 
@@ -303,27 +308,35 @@ def _render_detector_list() -> list[str]:
     return lines
 
 
-def _is_corpus_command(argv: list[str]) -> bool:
-    """Whether ``argv`` invokes the ``corpus`` subcommand.
+def _subcommand(argv: list[str]) -> str | None:
+    """The subcommand ``argv`` invokes (``corpus``/``serve``/``submit``), if any.
 
-    Only a recognised subcommand word after ``corpus`` routes there, so a
-    binary that happens to be *named* ``corpus`` can still be analysed
-    (``fetch-detect corpus`` with such a file present analyses the file).
+    A binary that happens to be *named* like a subcommand can still be
+    analysed: an existing file of that name wins, the subcommand routes
+    only otherwise.  For ``corpus``, additionally only a recognised
+    subcommand word after it routes there.
     """
-    if not argv or argv[0] != "corpus":
-        return False
-    rest = argv[1:]
-    if rest and rest[0] in ("build", "info", "-h", "--help"):
-        return True
-    # bare "fetch-detect corpus": prefer an existing file of that name,
-    # otherwise show the subcommand usage error
-    return not rest and not os.path.exists("corpus")
+    if not argv or argv[0] not in ("corpus", "serve", "submit"):
+        return None
+    word, rest = argv[0], argv[1:]
+    if word == "corpus":
+        if rest and rest[0] in ("build", "info", "-h", "--help"):
+            return word
+        # bare "fetch-detect corpus": prefer an existing file of that name,
+        # otherwise show the subcommand usage error
+        return word if not rest and not os.path.exists("corpus") else None
+    return word if not os.path.exists(word) else None
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if _is_corpus_command(argv):
+    subcommand = _subcommand(argv)
+    if subcommand == "corpus":
         return corpus_main(argv[1:])
+    if subcommand == "serve":
+        return serve_main(argv[1:])
+    if subcommand == "submit":
+        return submit_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -449,6 +462,157 @@ def corpus_main(argv: list[str]) -> int:
         print(f"{name}: {count} binaries")
     print(f"# store {store.root}: {reused} corpus manifest(s) reused, {built} built")
     return 0
+
+
+# ----------------------------------------------------------------------
+# fetch-detect serve / submit — the persistent detection service
+# ----------------------------------------------------------------------
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    """The service knobs shared by ``serve`` and ``submit``."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="long-lived worker threads in the service pool (default: 2)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        metavar="N",
+        help="max binaries queued or running at once; 0 = unbounded (default: 256)",
+    )
+    parser.add_argument(
+        "--backpressure",
+        choices=("block", "reject"),
+        default="block",
+        help=(
+            "what a full queue does to a submission: admit entries as "
+            "capacity frees (block) or refuse the whole batch (reject)"
+        ),
+    )
+    parser.add_argument("--store", nargs="?", const="", default=None, metavar="DIR")
+    parser.add_argument("--no-store", action="store_true")
+
+
+def _make_service(args: argparse.Namespace):
+    from repro.service import DetectionService
+
+    return DetectionService(
+        workers=max(1, args.workers),
+        queue_limit=max(0, args.queue_limit),
+        backpressure=args.backpressure,
+        store=_resolve_store(args),
+    )
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fetch-detect serve",
+        description=(
+            "Run the persistent detection service over a stdin/stdout "
+            "JSON-lines protocol (one request per input line, one event per "
+            "output line; see repro.service.protocol for the schema)."
+        ),
+    )
+    _add_service_arguments(parser)
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    from repro.service import ServeSession
+
+    args = build_serve_parser().parse_args(argv)
+    with _make_service(args) as service:
+        return ServeSession(service, sys.stdin, sys.stdout).run()
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fetch-detect submit",
+        description=(
+            "Submit a batch of binaries through the detection service and "
+            "stream results as they complete.  The summary reports the "
+            "run's cache hit/miss counters: a warm re-submission of an "
+            "already-evaluated corpus performs zero detector invocations."
+        ),
+    )
+    parser.add_argument("paths", nargs="+", metavar="binary", help="ELF binaries to analyse")
+    parser.add_argument(
+        "--detector",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="detector(s) to run, repeatable (default: fetch)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of text",
+    )
+    _add_service_arguments(parser)
+    return parser
+
+
+def submit_main(argv: list[str]) -> int:
+    parser = build_submit_parser()
+    args = parser.parse_args(argv)
+    for name in args.detector or ():
+        try:
+            detector_info(name)
+        except KeyError as error:
+            parser.error(str(error))
+
+    records: list[dict] = []
+    errors = 0
+    with _make_service(args) as service:
+        job = service.submit(args.paths, detectors=args.detector)
+        for result in job.results():
+            record = {
+                "name": result.name,
+                "detector": result.detector,
+                "cached": result.cached,
+                "count": len(result.function_starts),
+                "function_starts": list(result.function_starts),
+                "seconds": round(result.seconds, 6),
+                "error": result.error,
+            }
+            records.append(record)
+            if not result.ok:
+                errors += 1
+                print(f"error: {result.name} [{result.detector}]: {result.error}",
+                      file=sys.stderr)
+            elif not args.json:
+                cached = " (cached)" if result.cached else ""
+                print(
+                    f"{result.name}\t{result.detector}\t"
+                    f"{len(result.function_starts)} starts{cached}"
+                )
+        stats = service.stats()
+
+    status = 1 if errors else 0
+    if args.json:
+        print(json.dumps(
+            {"results": records, "stats": stats, "status": status},
+            indent=2, sort_keys=True,
+        ))
+        return status
+
+    done, total = job.progress()
+    print(
+        f"# job {job.job_id}: {done - errors}/{total} units ok, "
+        f"{stats['cache_hits']} cached, {stats['detector_runs']} detector runs"
+    )
+    store_stats = stats.get("store")
+    if store_stats is not None:
+        print(
+            "# store: "
+            f"{store_stats.get('detection_hits', 0)} detection hits, "
+            f"{store_stats.get('detection_misses', 0)} misses"
+        )
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -196,6 +196,24 @@ def create_detector(name: str, options: Any | None = None) -> Any:
     return detector_info(name).create(options)
 
 
+def create_detectors(specs: Iterable[Any] | None = None) -> list[Any]:
+    """Instantiate a batch of detectors, preserving request order.
+
+    ``specs`` mixes registered names (instantiated with default options) and
+    ready-made detector instances (passed through untouched — how tests and
+    embedders inject custom-configured or stub detectors).  ``None`` or an
+    empty iterable means the default detector set: FETCH alone.  Unknown
+    names raise ``KeyError`` before anything runs, so a batch request fails
+    fast instead of mid-stream.
+    """
+    requested = list(specs) if specs is not None else []
+    if not requested:
+        requested = ["fetch"]
+    return [
+        create_detector(spec) if isinstance(spec, str) else spec for spec in requested
+    ]
+
+
 __all__ = [
     "DetectorInfo",
     "register_detector",
@@ -203,4 +221,5 @@ __all__ = [
     "detectors",
     "detector_names",
     "create_detector",
+    "create_detectors",
 ]

@@ -1,14 +1,25 @@
-"""Shared thread/process fan-out used by the CLI and the corpus evaluator.
+"""Shared thread/process fan-out used by the CLI, the corpus evaluator and
+the detection service.
 
-One helper owns the backend choice that used to be duplicated between
-``repro.cli`` and :class:`repro.eval.runner.CorpusEvaluator`: a process pool
-when real CPU parallelism is requested (``workers``), a thread pool when
-only I/O-and-GIL-bound concurrency is wanted (``jobs``), and a plain serial
-loop otherwise.  Results always come back in input order.
+Two primitives live here:
+
+* :func:`parallel_map` — the one-shot fan-out that used to be duplicated
+  between ``repro.cli`` and :class:`repro.eval.runner.CorpusEvaluator`: a
+  process pool when real CPU parallelism is requested (``workers``), a
+  thread pool when only I/O-and-GIL-bound concurrency is wanted (``jobs``),
+  and a plain serial loop otherwise.  Results always come back in input
+  order.
+* :class:`ShardedWorkerPool` — the long-lived counterpart used by
+  :class:`repro.service.DetectionService`: worker threads that persist
+  across batches, each draining its own FIFO queue, with a deterministic
+  task-key → worker mapping so all work for one key (a binary content
+  digest) lands on one thread in submission order.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Iterable, TypeVar
 
@@ -31,6 +42,11 @@ def parallel_map(
     down here; without one a pool is created and torn down per call.
     Otherwise ``jobs > 1`` fans out over a thread pool, and anything else
     runs serially.
+
+    Thread safety: ``parallel_map`` itself is safe to call concurrently from
+    several threads (each call owns its pool, or shares an externally-owned
+    ``pool`` whose ``map`` is thread-safe); it is ``fn`` that must tolerate
+    concurrent invocation when ``jobs``/``workers`` exceed one.
     """
     items = list(items)
     if workers > 1 and len(items) > 1:
@@ -42,3 +58,100 @@ def parallel_map(
         with ThreadPoolExecutor(max_workers=jobs) as thread_pool:
             return list(thread_pool.map(fn, items))
     return [fn(item) for item in items]
+
+
+#: Queue sentinel telling a :class:`ShardedWorkerPool` worker to exit.
+_STOP = object()
+
+
+class ShardedWorkerPool:
+    """Long-lived worker threads, each draining its own FIFO task queue.
+
+    :func:`parallel_map` spins its pool up and down per call, which is right
+    for one-shot batch evaluation but wrong for a process that stays up: a
+    persistent service wants warm workers and a *stable* routing of related
+    work.  Tasks are submitted with a shard key (any int, or a hex string
+    such as a content digest); :meth:`shard_of` maps the key onto one of the
+    ``workers`` threads, so every task sharing a key executes on the same
+    thread in submission order.  The detection service shards by binary
+    content digest, which serialises duplicate binaries behind each other —
+    by the time the second copy runs, the first has already populated the
+    cache.
+
+    Tasks are bare callables and own their error handling: a task that
+    raises is recorded in :attr:`task_errors` (most recent last, bounded)
+    and the worker moves on.  The service never lets exceptions reach the
+    pool — failures are folded into per-entry results instead.
+
+    Thread safety: :meth:`submit` may be called from any thread, including
+    from tasks already running on the pool; :meth:`close` must be called
+    exactly once, after which further submissions raise ``RuntimeError``.
+    """
+
+    #: how many unexpected task exceptions to keep for diagnosis
+    MAX_TASK_ERRORS = 32
+
+    def __init__(self, workers: int, *, name: str = "shard-worker"):
+        self.workers = max(1, int(workers))
+        self.task_errors: list[BaseException] = []
+        self._closed = False
+        self._lock = threading.Lock()
+        self._queues: list[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in range(self.workers)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._drain, args=(task_queue,), name=f"{name}-{index}", daemon=True
+            )
+            for index, task_queue in enumerate(self._queues)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def shard_of(self, key: int | str) -> int:
+        """The worker index ``key`` routes to (stable for the pool's life)."""
+        if isinstance(key, str):
+            # hex digests route by their leading 64 bits; anything else by hash
+            try:
+                key = int(key[:16], 16)
+            except ValueError:
+                key = hash(key)
+        return key % self.workers
+
+    def submit(self, shard_key: int | str, task: Callable[[], Any]) -> int:
+        """Queue ``task`` on the worker owning ``shard_key``; returns the shard."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed ShardedWorkerPool")
+            shard = self.shard_of(shard_key)
+            self._queues[shard].put(task)
+        return shard
+
+    def _drain(self, task_queue: queue.SimpleQueue) -> None:
+        while True:
+            task = task_queue.get()
+            if task is _STOP:
+                return
+            try:
+                task()
+            except BaseException as error:  # noqa: BLE001 - tasks own their errors
+                self.task_errors.append(error)
+                del self.task_errors[: -self.MAX_TASK_ERRORS]
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting work; with ``wait``, drain queues and join workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for task_queue in self._queues:
+                task_queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "ShardedWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -245,6 +245,16 @@ class CorpusEvaluator:
         and reloaded on later runs; ``fn`` is then only called for binaries
         without a cached value.  The caller owns the key: it must change
         whenever ``fn``'s meaning or ``fn_args`` change.
+
+        Thread safety: the context cache behind :meth:`context_for` is
+        lock-guarded, so the pool workers of a single :meth:`map` call may
+        share contexts freely; ``fn`` itself must tolerate concurrent
+        invocation over *different* binaries (it is never called twice
+        concurrently for one binary within a call).  Concurrent :meth:`map`
+        calls from different threads are not coordinated — long-lived
+        multi-client processes should serialise per evaluator, or hold one
+        evaluator per corpus as :class:`repro.service.DetectionService`
+        holds one context per in-flight entry.
         """
         binaries = self.corpus if items is None else list(items)
         if self.store is None or cache_key is None:
@@ -1013,10 +1023,7 @@ class ScenarioMatrix:
             # computed cells interleave
             self.cells[scenario] = {name: row[name] for name, _ in self.detectors}
         if self.store is not None:
-            self.run_store_stats = {
-                key: value - stats_before.get(key, 0)
-                for key, value in self.store.stats_snapshot().items()
-            }
+            self.run_store_stats = self.store.stats_delta(stats_before)
         return self.cells
 
     def write_bench(

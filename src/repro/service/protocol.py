@@ -1,0 +1,206 @@
+"""JSON-lines protocol over stdin/stdout: the ``fetch-detect serve`` front-end.
+
+One request per input line, one JSON event per output line.  The shape is
+deliberately transport-agnostic — a pipe today, a socket acceptor feeding
+the same :class:`ServeSession` tomorrow — and streaming: a ``submit`` is
+acknowledged as soon as its entries are *admitted*, and its per-entry
+results then arrive as the service completes them, interleaved with
+responses to later requests.  Admission itself follows the service's
+backpressure policy: under the default ``block`` policy a batch larger
+than the remaining queue capacity delays the acknowledgement (and the
+request loop) until workers free capacity — backpressure deliberately
+propagates to the submitting client.  Run the service with
+``--backpressure reject`` for a front-end that never blocks: an
+overflowing batch then answers with an ``error`` event instead.
+
+Requests::
+
+    {"op": "submit", "paths": [...], "detectors": ["fetch", "ghidra"]}
+    {"op": "status", "job": 1}
+    {"op": "wait", "job": 1}
+    {"op": "stats"}
+    {"op": "shutdown"}
+
+Events (every response carries an ``event`` key)::
+
+    {"event": "accepted", "job": 1, "entries": 3, "units": 6}
+    {"event": "result", "job": 1, "name": "a.elf", "detector": "fetch",
+     "cached": false, "count": 42, "function_starts": [...], "seconds": 0.12}
+    {"event": "job-done", "job": 1, "ok": 6, "errors": 0}
+    {"event": "status", "job": 1, "state": "running", "done": 2, "total": 6}
+    {"event": "stats", ...service counters, "store": hit/miss deltas}
+    {"event": "error", "error": "..."}          # bad request, never fatal
+    {"event": "bye"}                            # response to shutdown
+
+Malformed input (bad JSON, unknown ``op``, unknown job id) produces an
+``error`` event and the session keeps serving; only ``shutdown`` or end of
+input ends it, after draining every in-flight job.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, IO
+
+from repro.service.service import (
+    DetectionService,
+    EntryResult,
+    JobHandle,
+    ServiceSaturated,
+)
+
+
+class ServeSession:
+    """One stdin/stdout (or socket-stream) session speaking the protocol.
+
+    Responses from concurrently-draining jobs and from the request loop
+    share one output stream; a write lock keeps every JSON line intact.
+    """
+
+    def __init__(
+        self,
+        service: DetectionService,
+        input_stream: IO[str],
+        output_stream: IO[str],
+    ):
+        self.service = service
+        self._input = input_stream
+        self._output = output_stream
+        self._write_lock = threading.Lock()
+        self._drainers: list[threading.Thread] = []
+
+    # -- output ---------------------------------------------------------
+    def _emit(self, event: dict[str, Any]) -> None:
+        line = json.dumps(event, sort_keys=True)
+        with self._write_lock:
+            self._output.write(line + "\n")
+            self._output.flush()
+
+    @staticmethod
+    def _result_event(job: JobHandle, result: EntryResult) -> dict[str, Any]:
+        event: dict[str, Any] = {
+            "event": "result",
+            "job": job.job_id,
+            "name": result.name,
+            "detector": result.detector,
+            "cached": result.cached,
+            "count": len(result.function_starts),
+            "function_starts": list(result.function_starts),
+            "seconds": round(result.seconds, 6),
+        }
+        if result.error is not None:
+            event["error"] = result.error
+        if result.metrics is not None:
+            event["metrics"] = {
+                "false_positives": result.metrics.fp_count,
+                "false_negatives": result.metrics.fn_count,
+                "functions": result.metrics.true_count,
+            }
+        return event
+
+    # -- request handling ------------------------------------------------
+    def _drain(self, job: JobHandle) -> None:
+        ok = errors = 0
+        for result in job.results():
+            if result.ok:
+                ok += 1
+            else:
+                errors += 1
+            self._emit(self._result_event(job, result))
+        self._emit({"event": "job-done", "job": job.job_id, "ok": ok, "errors": errors})
+
+    def _handle(self, request: dict[str, Any]) -> bool:
+        """Serve one request; returns ``False`` when the session should end."""
+        op = request.get("op")
+        if op == "shutdown":
+            return False
+        if op == "submit":
+            paths = request.get("paths")
+            if (
+                not isinstance(paths, list)
+                or not paths
+                or not all(isinstance(path, str) for path in paths)
+            ):
+                self._emit(
+                    {
+                        "event": "error",
+                        "error": "submit needs a non-empty 'paths' list of strings",
+                    }
+                )
+                return True
+            detectors = request.get("detectors")
+            if detectors is not None and (
+                not isinstance(detectors, list)
+                or not all(isinstance(name, str) for name in detectors)
+            ):
+                self._emit(
+                    {"event": "error", "error": "'detectors' must be a list of names"}
+                )
+                return True
+            try:
+                job = self.service.submit(paths, detectors=detectors)
+            except (ServiceSaturated, KeyError) as error:
+                self._emit({"event": "error", "error": str(error)})
+                return True
+            self._emit(
+                {
+                    "event": "accepted",
+                    "job": job.job_id,
+                    "entries": len(paths),
+                    "units": job.total,
+                }
+            )
+            drainer = threading.Thread(target=self._drain, args=(job,), daemon=True)
+            drainer.start()
+            # session state stays bounded across a long-lived session:
+            # finished drainers are pruned on every new submit
+            self._drainers = [t for t in self._drainers if t.is_alive()]
+            self._drainers.append(drainer)
+            return True
+        if op in ("status", "wait"):
+            try:
+                job = self.service.job(int(request.get("job", -1)))
+            except (KeyError, TypeError, ValueError):
+                self._emit({"event": "error", "error": f"unknown job {request.get('job')!r}"})
+                return True
+            if op == "wait":
+                job.wait()
+            done, total = job.progress()
+            self._emit(
+                {
+                    "event": "status",
+                    "job": job.job_id,
+                    "state": job.state.value,
+                    "done": done,
+                    "total": total,
+                }
+            )
+            return True
+        if op == "stats":
+            self._emit({"event": "stats", **self.service.stats()})
+            return True
+        self._emit({"event": "error", "error": f"unknown op {op!r}"})
+        return True
+
+    # -- main loop -------------------------------------------------------
+    def run(self) -> int:
+        """Serve requests until shutdown or end of input; returns exit code."""
+        for line in self._input:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except ValueError as error:
+                self._emit({"event": "error", "error": f"bad request line: {error}"})
+                continue
+            if not isinstance(request, dict):
+                self._emit({"event": "error", "error": "request must be a JSON object"})
+                continue
+            if not self._handle(request):
+                break
+        for drainer in self._drainers:
+            drainer.join()
+        self._emit({"event": "bye"})
+        return 0

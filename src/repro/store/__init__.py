@@ -18,12 +18,20 @@ from repro.store.digest import (
     options_digest,
     stable_digest,
 )
-from repro.store.store import STORE_FORMAT, ArtifactStore, default_store_root
+from repro.store.store import (
+    STORE_FORMAT,
+    ArtifactStore,
+    default_store_root,
+    digest_of_binary,
+    elf_bytes_of,
+)
 
 __all__ = [
     "ArtifactStore",
     "STORE_FORMAT",
     "default_store_root",
+    "digest_of_binary",
+    "elf_bytes_of",
     "blob_digest",
     "canonical_json",
     "options_digest",

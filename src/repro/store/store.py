@@ -54,8 +54,47 @@ def default_store_root() -> Path:
     return Path(os.environ.get("REPRO_STORE_DIR") or ".repro-store")
 
 
+def elf_bytes_of(binary: "SyntheticBinary") -> bytes:
+    """The serialized ELF image of ``binary`` (kept bytes, else re-written)."""
+    if binary.elf_bytes:
+        return binary.elf_bytes
+    from repro.elf.writer import write_elf
+
+    return write_elf(binary.image.elf)
+
+
+def digest_of_binary(binary: "SyntheticBinary") -> str:
+    """The content digest of ``binary``'s serialized ELF image, memoized.
+
+    Computed once per binary object and cached on it (the same attribute
+    :meth:`ArtifactStore.binary_digest` and the corpus loader use), so
+    repeated submissions of one in-memory binary never re-serialize it —
+    with or without a store.
+    """
+    cached = getattr(binary, _DIGEST_ATTRIBUTE, None)
+    if cached is not None:
+        return cached
+    digest = blob_digest(elf_bytes_of(binary))
+    setattr(binary, _DIGEST_ATTRIBUTE, digest)
+    return digest
+
+
 class ArtifactStore:
-    """Content-addressed cache of corpora, detector results and matrix cells."""
+    """Content-addressed cache of corpora, detector results and matrix cells.
+
+    Thread safety: every write goes through :meth:`_atomic_write` (tempfile +
+    ``os.replace``), so readers — in this process, in concurrent worker
+    threads, or in other processes sharing the directory — observe either
+    the complete artifact or none of it, never a torn file.  Two writers
+    racing on one key both write the same content-addressed payload, so the
+    loser's replace is harmless.  The :attr:`stats` counters are plain dict
+    increments guarded by the GIL: individual counts are exact, but a
+    multi-counter snapshot taken while workers run is only approximate —
+    take :meth:`stats_snapshot` deltas around quiescent points (as
+    :class:`~repro.eval.runner.ScenarioMatrix` and the detection service
+    do).  The long-lived :class:`~repro.service.DetectionService` relies on
+    exactly these guarantees to share one store across its worker pool.
+    """
 
     def __init__(self, root: str | os.PathLike | None = None):
         self.root = Path(root) if root is not None else default_store_root()
@@ -108,9 +147,17 @@ class ArtifactStore:
 
     # -- blobs ----------------------------------------------------------
     def blob_path(self, digest: str) -> Path:
+        """Where the blob named ``digest`` lives (whether or not it exists)."""
         return self.root / "objects" / digest[:2] / digest
 
     def put_blob(self, data: bytes) -> str:
+        """Store raw bytes under their SHA-256; returns the digest.
+
+        Idempotent and safe to race: a blob that already exists is left
+        untouched (content addressing makes re-writing it a no-op by
+        definition), and a concurrent writer of the same bytes produces the
+        identical file via the atomic-rename path.
+        """
         digest = blob_digest(data)
         path = self.blob_path(digest)
         if not path.exists():
@@ -118,6 +165,11 @@ class ArtifactStore:
         return digest
 
     def get_blob(self, digest: str) -> bytes | None:
+        """The bytes stored under ``digest``, or ``None`` when absent.
+
+        Never raises on a missing or unreadable blob — garbage-collected
+        objects read as cache misses, matching :meth:`load_corpus`.
+        """
         try:
             return self.blob_path(digest).read_bytes()
         except OSError:
@@ -132,20 +184,11 @@ class ArtifactStore:
         never re-serialized (re-serializing a *parsed* image is not
         byte-stable, the blob is the identity).
         """
-        cached = getattr(binary, _DIGEST_ATTRIBUTE, None)
-        if cached is not None:
-            return cached
-        digest = blob_digest(self._elf_bytes(binary))
-        setattr(binary, _DIGEST_ATTRIBUTE, digest)
-        return digest
+        return digest_of_binary(binary)
 
     @staticmethod
     def _elf_bytes(binary: "SyntheticBinary") -> bytes:
-        if binary.elf_bytes:
-            return binary.elf_bytes
-        from repro.elf.writer import write_elf
-
-        return write_elf(binary.image.elf)
+        return elf_bytes_of(binary)
 
     # -- corpora --------------------------------------------------------
     def corpus_key(self, kind: str, params: dict[str, Any]) -> str:
@@ -253,6 +296,14 @@ class ArtifactStore:
     def load_result(
         self, binary: "SyntheticBinary", detector: str, options_digest: str
     ) -> "BinaryMetrics | None":
+        """The cached :class:`BinaryMetrics` of one detector run, or ``None``.
+
+        Keyed by (binary content digest, detector name, options digest), so
+        a hit is only served for byte-identical input analysed by an
+        identically-configured, identically-versioned detector.  Safe to
+        call from concurrent workers: a record is read back only after its
+        atomic rename, never mid-write.
+        """
         record = self._load_record("results", self._result_key(binary, detector, options_digest))
         if record is None:
             self.stats["result_misses"] += 1
@@ -267,6 +318,12 @@ class ArtifactStore:
         options_digest: str,
         metrics: "BinaryMetrics",
     ) -> Path:
+        """Persist one detector run's :class:`BinaryMetrics` (atomic write).
+
+        Concurrent saves of the same key are benign — both writers derived
+        the metrics from identical inputs, so last-rename-wins replaces the
+        record with equal content.
+        """
         return self._save_record(
             "results",
             self._result_key(binary, detector, options_digest),
@@ -291,6 +348,11 @@ class ArtifactStore:
         return True, pickle.loads(data)
 
     def save_value(self, binary: "SyntheticBinary", cache_key: str, value: Any) -> None:
+        """Persist a picklable per-binary value under ``cache_key`` (atomic).
+
+        The caller owns the key's meaning — see
+        :meth:`CorpusEvaluator.map`'s ``cache_key`` contract.
+        """
         self._atomic_write(self._value_path(binary, cache_key), pickle.dumps(value, protocol=4))
 
     # -- scenario-matrix cells ------------------------------------------
@@ -331,7 +393,20 @@ class ArtifactStore:
     def save_cell(self, key: str, record: dict[str, Any]) -> Path:
         return self._save_record("matrix", key, record)
 
-    # -- CLI detection records ------------------------------------------
+    # -- CLI / service detection records --------------------------------
+    def detection_key(self, file_digest: str, detector: str, options_digest: str) -> str:
+        """Content key of one detection run over one binary.
+
+        Shared by the ``fetch-detect`` CLI and the detection service, so a
+        corpus analysed through either front-end warms the other: the key
+        depends only on the file's content digest, the detector name and
+        its options/logic digest — never on the path or the submitting
+        process.
+        """
+        return stable_digest(
+            {"file": file_digest, "detector": detector, "options": options_digest}
+        )
+
     def load_detection(self, key: str) -> dict[str, Any] | None:
         """A cached ``fetch-detect`` run (starts, stages, merged parts)."""
         record = self._load_record("detections", key)
@@ -348,6 +423,16 @@ class ArtifactStore:
     def stats_snapshot(self) -> dict[str, int]:
         """A copy of the hit/miss counters (for ``BENCH_*.json`` records)."""
         return dict(self.stats)
+
+    def stats_delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter deltas since a previous :meth:`stats_snapshot`.
+
+        The standard way to scope hit/miss accounting to one run (a matrix
+        pass, a service batch) instead of the store's lifetime.
+        """
+        return {
+            key: value - before.get(key, 0) for key, value in self.stats_snapshot().items()
+        }
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Scans markdown files for inline links and validates, without any network
+access:
+
+* relative file links resolve to an existing file (relative to the file
+  containing the link);
+* intra-document anchors (``#section``) and anchors on relative links
+  (``OTHER.md#section``) match a heading in the target document, using
+  GitHub's heading→anchor slug rules;
+* absolute ``http(s)``/``mailto`` links are accepted without fetching.
+
+Usage::
+
+    python tools/check_links.py README.md EXPERIMENTS.md docs/*.md
+
+Exits non-zero listing every broken link, so doc snippets referencing
+moved or renamed files fail loudly in CI.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: inline markdown links: [text](target) — images share the syntax
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's heading → anchor rule: lowercase, strip punctuation, dashes."""
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slugify(match.group(1)))
+    return anchors
+
+
+def _links(path: Path) -> list[tuple[int, str]]:
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        links.extend((number, match.group(1)) for match in _LINK.finditer(line))
+    return links
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    for line_number, target in _links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = path if not base else (path.parent / base).resolve()
+        if base and not resolved.exists():
+            problems.append(f"{path}:{line_number}: broken link target {target!r}")
+            continue
+        if fragment and resolved.suffix.lower() in (".md", ""):
+            if resolved.is_file() and fragment not in _anchors(resolved):
+                problems.append(
+                    f"{path}:{line_number}: no heading for anchor {target!r}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    checked = 0
+    for name in argv:
+        path = Path(name)
+        if not path.is_file():
+            problems.append(f"{path}: no such file")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {checked} file(s): {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
