@@ -16,20 +16,35 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import DecodeError, decode_instruction
-from repro.x86.instruction import Instruction
+from repro.x86.instruction import (
+    _F_CALL,
+    _F_RET,
+    _F_TERMINATOR,
+    _F_UNCOND_JUMP,
+    Instruction,
+)
 from repro.x86.registers import (
     ARGUMENT_REGISTERS,
-    CALLER_SAVED_REGISTERS,
-    RAX,
     RBP,
     RSP,
+    Register,
 )
-from repro.x86.semantics import registers_read, registers_written
+from repro.x86.semantics import entry_masks, register_mask
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.context import AnalysisContext
 
 _DEFAULT_LIMIT = 48
+
+#: Registers a caller is allowed to leave live at a function entry, as the
+#: bit mask the walk tracks (bit ``n`` = register encoding number ``n``).
+_ENTRY_INITIALIZED_MASK = register_mask(ARGUMENT_REGISTERS) | register_mask((RSP, RBP))
+
+#: Non-ret terminators that end the walk with a clean verdict.
+_STOP_MNEMONICS = frozenset({"ud2", "hlt"})
+
+#: decode-cache probe sentinel ("address not yet decoded")
+_UNCACHED = object()
 
 
 def satisfies_calling_convention(
@@ -56,57 +71,80 @@ def check_entry_convention(
     *,
     max_instructions: int = _DEFAULT_LIMIT,
     decode: Callable[[int], Instruction | None] | None = None,
+    cache: dict[int, Instruction | None] | None = None,
 ) -> bool:
-    """The uncached convention walk; ``decode`` overrides instruction access."""
-    initialized = set(ARGUMENT_REGISTERS) | {RSP, RBP}
-    visited: set[int] = set()
-    current = address
+    """The uncached convention walk; ``decode`` overrides instruction access.
 
-    for _ in range(max_instructions):
-        if current in visited:
-            return True
-        visited.add(current)
-
-        if decode is not None:
-            insn = decode(current)
-            if insn is None:
-                return False
-        else:
+    ``cache`` (a shared decode memo, ``address -> Instruction | None``) lets
+    the walk probe already-decoded instructions directly at dict speed;
+    ``decode`` is then only invoked for addresses the cache has never seen.
+    """
+    if decode is None:
+        def decode(current: int) -> Instruction | None:
             section = image.section_containing(current)
             if section is None or not section.is_executable:
-                return False
+                return None
             try:
-                insn = decode_instruction(section.data, current - section.address, current)
+                return decode_instruction(section.data, current - section.address, current)
             except DecodeError:
-                return False
+                return None
 
-        if insn.is_ret or insn.mnemonic in ("ud2", "hlt"):
-            return True
-        if insn.is_call:
-            # Reaching a call without a violation is good enough; the callee
-            # re-establishes its own conventions.
-            return True
+    # ``initialized`` always contains RSP/RBP, so the violation test reduces
+    # to a plain subset check over the read-set; both sets are tracked as bit
+    # masks keyed by register encoding number.  Cycles require at least one
+    # backward unconditional jump (fall-through addresses strictly increase),
+    # so loop detection only has to remember jump targets — and a re-walked
+    # instruction can never produce a new violation because ``initialized``
+    # only grows, so detecting the cycle one lap late keeps the verdict.
+    initialized = _ENTRY_INITIALIZED_MASK
+    jump_targets: set[int] = set()
+    current = address
+    cache_get = cache.get if cache is not None else None
 
-        reads = registers_read(insn)
-        if insn.mnemonic == "push":
-            # Saving a register is not a use of its value in the ABI sense.
-            reads = reads - set(insn.operands) if insn.operands else reads
-        if any(reg not in initialized for reg in reads if reg not in (RSP, RBP)):
+    for _ in range(max_instructions):
+        if cache_get is not None:
+            insn = cache_get(current, _UNCACHED)
+            if insn is _UNCACHED:
+                insn = decode(current)
+        else:
+            insn = decode(current)
+        if insn is None:
             return False
-        initialized |= registers_written(insn)
-        if insn.is_call:
-            initialized |= set(CALLER_SAVED_REGISTERS) | {RAX}
 
-        if insn.is_unconditional_jump:
-            target = insn.branch_target
-            if target is None:
+        flags = insn._flags
+        if flags:
+            if flags & (_F_RET | _F_CALL):
+                # A ret ends the walk cleanly; reaching a call without a
+                # violation is good enough — the callee re-establishes its
+                # own conventions.
                 return True
+            if (
+                flags & _F_TERMINATOR
+                and not flags & _F_UNCOND_JUMP
+                and insn.mnemonic in _STOP_MNEMONICS
+            ):
+                return True
+
+        masks = entry_masks(insn)
+        reads = masks >> 16
+        if reads & ~initialized:
+            if insn.mnemonic == "push" and insn.operands:
+                # Saving a register is not a use of its value in the ABI sense.
+                for operand in insn.operands:
+                    if operand.__class__ is Register:
+                        reads &= ~(1 << operand.number)
+            if reads & ~initialized:
+                return False
+        initialized |= masks & 0xFFFF
+
+        if flags & _F_UNCOND_JUMP:
+            target = insn.branch_target
+            if target is None or target in jump_targets:
+                return True
+            jump_targets.add(target)
             current = target
             continue
-        if insn.is_conditional_jump:
-            # Follow the fall-through edge; one clean path is sufficient for
-            # this conservative check.
-            current = insn.end
-            continue
+        # Conditional jumps follow the fall-through edge; one clean path is
+        # sufficient for this conservative check.
         current = insn.end
     return True

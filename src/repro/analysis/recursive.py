@@ -15,13 +15,30 @@ from typing import TYPE_CHECKING
 from repro.analysis.jumptable import resolve_jump_table
 from repro.analysis.result import DisassembledFunction, DisassemblyResult
 from repro.elf.image import BinaryImage
-from repro.x86.disassembler import DecodeError, decode_instruction
-from repro.x86.instruction import Instruction
+from repro.x86.disassembler import decode_block
+from repro.x86.instruction import (
+    _F_CALL,
+    _F_COND_JUMP,
+    _F_CONTROL,
+    _F_RET,
+    _F_UNCOND_JUMP,
+    Instruction,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.context import AnalysisContext
 
 _MAX_FUNCTION_INSTRUCTIONS = 20_000
+
+#: decode-cache probe sentinel ("address not yet decoded")
+_UNCACHED = object()
+
+#: Jump-table resolution inspects at most the trailing 24 path entries
+#: (``repro.analysis.jumptable._LOOKBACK``), so the per-path history kept by
+#: the traversal can be truncated once it grows past this many instructions
+#: without changing any resolution outcome.
+_PATH_KEEP = 32
+_PATH_TRIM_AT = 2 * _PATH_KEEP
 
 
 class RecursiveDisassembler:
@@ -67,6 +84,11 @@ class RecursiveDisassembler:
         self._noreturn: dict[int, bool] = {}
         self._tainted: set[int] = set()
         self._in_progress: set[int] = set()
+        self._last_exec_section = None
+        self._last_exec_lo = 0
+        self._last_exec_hi = 0
+        #: precomputed executable ranges; target checks run hot in traversal
+        self._exec_bounds = image._executable_bounds
 
     # ------------------------------------------------------------------
     def disassemble(self, seeds: set[int]) -> DisassemblyResult:
@@ -103,22 +125,40 @@ class RecursiveDisassembler:
 
     # ------------------------------------------------------------------
     def _is_code(self, address: int) -> bool:
-        return self.image.is_executable_address(address)
+        for bounds in self._exec_bounds:
+            if bounds[0] <= address < bounds[1]:
+                return True
+        return False
 
     def _decode(self, address: int) -> Instruction | None:
-        if address in self._decode_cache:
-            return self._decode_cache[address]
-        section = self.image.section_containing(address)
-        insn: Instruction | None
-        if section is None or not section.is_executable:
-            insn = None
-        else:
-            try:
-                insn = decode_instruction(section.data, address - section.address, address)
-            except DecodeError:
-                insn = None
-        self._decode_cache[address] = insn
-        return insn
+        cache = self._decode_cache
+        try:
+            return cache[address]
+        except KeyError:
+            pass
+        # Memoize the last executable section: traversal stays inside one
+        # section for long stretches, making the binary search redundant.
+        section = self._last_exec_section
+        if section is None or not (self._last_exec_lo <= address < self._last_exec_hi):
+            section = self.image.section_containing(address)
+            if section is None or not section.is_executable:
+                cache[address] = None
+                return None
+            self._last_exec_section = section
+            self._last_exec_lo = section.address
+            self._last_exec_hi = section.end_address
+        # Straight-line fall-through dominates traversal, so decode a block
+        # of successors into the cache at once (decode failures are stored
+        # as ``None`` by decode_block).
+        decode_block(
+            section.data,
+            address - section.address,
+            address,
+            16,
+            cache=cache,
+            stop_at_terminator=True,
+        )
+        return cache[address]
 
     def _disassemble_function(self, start: int) -> DisassembledFunction:
         """Explore intra-procedural control flow from ``start``."""
@@ -139,66 +179,75 @@ class RecursiveDisassembler:
         saw_ret = False
         saw_escape = False
         tainted = False
+        instructions = function.instructions
+        cache_get = self._decode_cache.get
+        decode = self._decode
 
-        while worklist and len(function.instructions) < _MAX_FUNCTION_INSTRUCTIONS:
+        while worklist and len(instructions) < _MAX_FUNCTION_INSTRUCTIONS:
             address = worklist.pop()
             path = path_cache.pop(address, [])
             while address is not None:
-                if address in function.instructions:
+                if address in instructions:
                     break
-                insn = self._decode(address)
+                insn = cache_get(address, _UNCACHED)
+                if insn is _UNCACHED:
+                    insn = decode(address)
                 if insn is None:
                     function.had_decode_error = True
                     break
-                function.instructions[address] = insn
+                instructions[address] = insn
                 path.append(insn)
+                if len(path) >= _PATH_TRIM_AT:
+                    del path[:-_PATH_KEEP]
 
-                if insn.is_ret:
-                    saw_ret = True
-                    break
-                if insn.mnemonic in ("ud2", "hlt"):
-                    break
-                if insn.is_call:
-                    target = insn.branch_target
-                    if target is not None:
-                        function.call_targets.add(target)
-                        returns, assumption = self._call_returns_tracked(target)
-                        tainted |= assumption
-                        if returns:
-                            address = insn.end
-                            continue
+                flags = insn._flags
+                if flags & _F_CONTROL:
+                    if flags & _F_RET:
+                        saw_ret = True
                         break
-                    # Indirect call: skipped, assume it returns.
-                    address = insn.end
-                    continue
-                if insn.is_conditional_jump:
-                    function.jumps.append(insn)
-                    target = insn.branch_target
-                    if target is not None and self._is_code(target):
-                        if target not in function.instructions and target not in path_cache:
-                            worklist.append(target)
-                            path_cache[target] = list(path)
-                    address = insn.end
-                    continue
-                if insn.is_unconditional_jump:
-                    function.jumps.append(insn)
-                    target = insn.branch_target
-                    if target is not None:
-                        if self._is_code(target):
-                            address = target
-                            continue
+                    if flags & _F_CALL:
+                        target = insn.branch_target
+                        if target is not None:
+                            function.call_targets.add(target)
+                            returns, assumption = self._call_returns_tracked(target)
+                            tainted |= assumption
+                            if returns:
+                                address = insn.end
+                                continue
+                            break
+                        # Indirect call: skipped, assume it returns.
+                        address = insn.end
+                        continue
+                    if flags & _F_COND_JUMP:
+                        function.jumps.append(insn)
+                        target = insn.branch_target
+                        if target is not None and self._is_code(target):
+                            if target not in instructions and target not in path_cache:
+                                worklist.append(target)
+                                path_cache[target] = list(path)
+                        address = insn.end
+                        continue
+                    if flags & _F_UNCOND_JUMP:
+                        function.jumps.append(insn)
+                        target = insn.branch_target
+                        if target is not None:
+                            if self._is_code(target):
+                                address = target
+                                continue
+                            break
+                        targets = resolve_jump_table(self.image, path[:-1], insn)
+                        if targets:
+                            for table_target in targets:
+                                if (
+                                    table_target not in instructions
+                                    and table_target not in path_cache
+                                ):
+                                    worklist.append(table_target)
+                                    path_cache[table_target] = []
+                        else:
+                            saw_escape = True
                         break
-                    targets = resolve_jump_table(self.image, path[:-1], insn)
-                    if targets:
-                        for table_target in targets:
-                            if (
-                                table_target not in function.instructions
-                                and table_target not in path_cache
-                            ):
-                                worklist.append(table_target)
-                                path_cache[table_target] = []
-                    else:
-                        saw_escape = True
+                    # Remaining terminators (ud2 / hlt) end the path.
                     break
                 # Ordinary instruction: fall through.
                 address = insn.end

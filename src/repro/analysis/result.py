@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.x86.instruction import Instruction
+from repro.x86.instruction import _F_BRANCH, Instruction
 from repro.x86.operands import Imm
 
 
@@ -41,14 +41,15 @@ class DisassembledFunction:
         constants = self._code_constants
         if constants is None:
             constants = set()
+            add = constants.add
             for insn in self.instructions.values():
-                if not insn.is_branch:
+                if not insn._flags & _F_BRANCH and insn.operands:
                     for operand in insn.operands:
-                        if isinstance(operand, Imm) and operand.size >= 4:
-                            constants.add(operand.value)
+                        if operand.__class__ is Imm and operand.size >= 4:
+                            add(operand.value)
                 rip_target = insn.rip_target
                 if rip_target is not None:
-                    constants.add(rip_target)
+                    add(rip_target)
             self._code_constants = constants
         return constants
 
@@ -90,6 +91,12 @@ class DisassemblyResult:
     _coverage_cache: tuple[int, list[tuple[int, int]]] | None = field(
         default=None, repr=False, compare=False
     )
+    #: memo for :func:`repro.analysis.xrefs.collect_potential_pointers`,
+    #: keyed by the (instruction count, constant count) state of this result
+    #: — both only ever grow, so equal counts mean identical content
+    _pointer_scan_cache: tuple[tuple[int, int], frozenset[int]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def function_starts(self) -> set[int]:
@@ -105,16 +112,25 @@ class DisassemblyResult:
         cached = self._coverage_cache
         if cached is not None and cached[0] == len(self.instructions):
             return cached[1]
-        covered = sorted(
-            (insn.address, insn.end) for insn in self.instructions.values()
-        )
+        # Sort plain int keys (address order is near-sorted after traversal,
+        # which Timsort exploits) and merge in one pass; building and sorting
+        # (address, end) tuples instead measurably dominates gap computation.
+        instructions = self.instructions
         merged: list[tuple[int, int]] = []
-        for start, end in covered:
-            if merged and start <= merged[-1][1]:
-                if end > merged[-1][1]:
-                    merged[-1] = (merged[-1][0], end)
+        append = merged.append
+        run_start = run_end = None
+        for address in sorted(instructions):
+            if run_end is None or address > run_end:
+                if run_end is not None:
+                    append((run_start, run_end))
+                run_start = address
+                run_end = instructions[address].end
             else:
-                merged.append((start, end))
+                end = instructions[address].end
+                if end > run_end:
+                    run_end = end
+        if run_end is not None:
+            append((run_start, run_end))
         self._coverage_cache = (len(self.instructions), merged)
         return merged
 

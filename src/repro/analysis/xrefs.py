@@ -19,6 +19,13 @@ from repro.analysis.gaps import compute_gaps
 from repro.analysis.result import DisassemblyResult
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import DecodeError, decode_instruction
+from repro.x86.instruction import (
+    _F_CALL,
+    _F_CALL_OR_JUMP,
+    _F_COND_JUMP,
+    _F_RET,
+    _F_UNCOND_JUMP,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.context import AnalysisContext
@@ -36,13 +43,20 @@ def collect_potential_pointers(
 
     The data-section sliding-window scan depends only on the image, so with a
     ``context`` it is computed once per binary; the gap scan and the code
-    constants depend on ``result`` and are recomputed per call.
+    constants depend on ``result`` and are memoized on the result itself
+    (keyed by its monotonically-growing instruction/constant counts, so the
+    pipeline's repeat calls over an unchanged disassembly reuse the scan).
     """
+    state = (len(result.instructions), len(result.code_constants))
+    cached = result._pointer_scan_cache
+    if cached is not None and cached[0] == state:
+        return set(cached[1])
+
+    from repro.core.context import scan_data_pointers, scan_pointer_windows
+
     if context is not None:
         candidates = set(context.data_pointer_candidates())
     else:
-        from repro.core.context import scan_data_pointers
-
         candidates = scan_data_pointers(image)
 
     for gap_start, gap_end in compute_gaps(image, result):
@@ -52,14 +66,12 @@ def collect_potential_pointers(
         data = section.data
         begin = gap_start - section.address
         end = min(gap_end, section.end_address) - section.address
-        for offset in range(begin, max(end - 7, begin)):
-            value = int.from_bytes(data[offset : offset + 8], "little")
-            if image.is_executable_address(value):
-                candidates.add(value)
+        scan_pointer_windows(data, begin, max(end - 7, begin), image, candidates)
 
     for constant in result.code_constants:
         if image.is_executable_address(constant):
             candidates.add(constant)
+    result._pointer_scan_cache = (state, frozenset(candidates))
     return candidates
 
 
@@ -112,21 +124,22 @@ def validate_function_pointer(
                 return False
             visited.add(current)
 
-            if insn.is_ret or insn.mnemonic in ("ud2", "hlt"):
+            flags = insn._flags
+            if flags & _F_RET or insn.mnemonic in ("ud2", "hlt"):
                 break
             target = insn.branch_target
-            if target is not None and (insn.is_call or insn.is_jump):
+            if target is not None and flags & _F_CALL_OR_JUMP:
                 if _lands_inside_function(target, known_starts, result):
                     return False
-            if insn.is_call:
+            if flags & _F_CALL:
                 current = insn.end
                 continue
-            if insn.is_unconditional_jump:
+            if flags & _F_UNCOND_JUMP:
                 if target is None:
                     break
                 current = target
                 continue
-            if insn.is_conditional_jump:
+            if flags & _F_COND_JUMP:
                 if target is not None and target not in visited:
                     worklist.append(target)
                 current = insn.end

@@ -16,7 +16,8 @@ persistent detection service over a stdin/stdout JSON-lines protocol (see
 batch client: it submits paths through a :class:`DetectionService`, streams
 results as they complete and reports the run's cache hit/miss counters — a
 warm re-submission of an already-evaluated corpus performs zero detector
-invocations.
+invocations.  ``fetch-detect profile`` runs one cold detection under
+cProfile and prints the hottest functions (see :mod:`repro.eval.profiling`).
 """
 
 from __future__ import annotations
@@ -45,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "corpus store management: 'fetch-detect corpus build|info'; "
             "persistent detection service: 'fetch-detect serve' (JSON-lines "
-            "protocol) and 'fetch-detect submit' (one-shot batch client)"
+            "protocol) and 'fetch-detect submit' (one-shot batch client); "
+            "cold-path profiling: 'fetch-detect profile <binary>'"
         ),
     )
     parser.add_argument(
@@ -309,14 +311,14 @@ def _render_detector_list() -> list[str]:
 
 
 def _subcommand(argv: list[str]) -> str | None:
-    """The subcommand ``argv`` invokes (``corpus``/``serve``/``submit``), if any.
+    """The subcommand ``argv`` invokes (``corpus``/``serve``/``submit``/``profile``), if any.
 
     A binary that happens to be *named* like a subcommand can still be
     analysed: an existing file of that name wins, the subcommand routes
     only otherwise.  For ``corpus``, additionally only a recognised
     subcommand word after it routes there.
     """
-    if not argv or argv[0] not in ("corpus", "serve", "submit"):
+    if not argv or argv[0] not in ("corpus", "serve", "submit", "profile"):
         return None
     word, rest = argv[0], argv[1:]
     if word == "corpus":
@@ -337,6 +339,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if subcommand == "submit":
         return submit_main(argv[1:])
+    if subcommand == "profile":
+        return profile_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -461,6 +465,72 @@ def corpus_main(argv: list[str]) -> int:
     for name, count in rows.items():
         print(f"{name}: {count} binaries")
     print(f"# store {store.root}: {reused} corpus manifest(s) reused, {built} built")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# fetch-detect profile — cProfile the cold detection path
+# ----------------------------------------------------------------------
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fetch-detect profile",
+        description=(
+            "Run one cold detection of a binary under cProfile and print the "
+            "hottest functions — the driver used to pick (and verify) the "
+            "cold-path optimisation targets."
+        ),
+    )
+    parser.add_argument("binary", help="path to the ELF binary to profile")
+    parser.add_argument(
+        "--detector",
+        default="fetch",
+        metavar="NAME",
+        help="registered detector to profile (default: fetch)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of functions to print (default: 25)",
+    )
+    parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default="cumulative",
+        help="pstats sort order (default: cumulative)",
+    )
+    return parser
+
+
+def profile_main(argv: list[str]) -> int:
+    from repro.eval.profiling import profile_cold_detection
+
+    parser = build_profile_parser()
+    args = parser.parse_args(argv)
+    try:
+        detector_info(args.detector)
+    except KeyError as error:
+        parser.error(str(error))
+    try:
+        with open(args.binary, "rb") as stream:
+            data = stream.read()
+    except OSError as error:
+        print(f"error: cannot load {args.binary}: {error}", file=sys.stderr)
+        return 1
+    try:
+        report = profile_cold_detection(
+            data,
+            name=args.binary,
+            detector=args.detector,
+            top=args.top,
+            sort=args.sort,
+        )
+    except ValueError as error:
+        print(f"error: cannot analyse {args.binary}: {error}", file=sys.stderr)
+        return 1
+    print(report, end="")
     return 0
 
 

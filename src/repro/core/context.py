@@ -38,7 +38,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.dwarf.cfa_table import CfaTable, build_cfa_table
 from repro.dwarf.structs import FdeRecord
 from repro.elf.image import BinaryImage
-from repro.x86.disassembler import DecodeError, decode_instruction
+from repro.x86.disassembler import decode_block
 from repro.x86.instruction import Instruction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -114,6 +114,9 @@ class AnalysisContext:
         self._text_matches: dict[tuple[bytes, ...], dict[bytes, list[int]]] = {}
         self._gadget_counts: dict[tuple[int, int], int] = {}
         self._stack_heights: dict[tuple[str, int, frozenset[int]], dict[int, int | None]] = {}
+        self._last_exec_section = None
+        self._last_exec_lo = 0
+        self._last_exec_hi = 0
 
     # ------------------------------------------------------------------
     # Instruction decoding
@@ -134,17 +137,29 @@ class AnalysisContext:
             cache.hits += 1
             return hit
         cache.misses += 1
-        section = self.image.section_containing(address)
-        insn: Instruction | None
-        if section is None or not section.is_executable:
-            insn = None
-        else:
-            try:
-                insn = decode_instruction(section.data, address - section.address, address)
-            except DecodeError:
-                insn = None
-        cache[address] = insn
-        return insn
+        # Code queries cluster heavily within one section, so remember the
+        # last executable section before falling back to the binary search.
+        section = self._last_exec_section
+        if section is None or not (self._last_exec_lo <= address < self._last_exec_hi):
+            section = self.image.section_containing(address)
+            if section is None or not section.is_executable:
+                cache[address] = None
+                return None
+            self._last_exec_section = section
+            self._last_exec_lo = section.address
+            self._last_exec_hi = section.end_address
+        # Fill the cache a block at a time: straight-line successors of this
+        # address are almost always queried next.  A decode failure at
+        # ``address`` is stored as ``None`` by decode_block itself.
+        decode_block(
+            section.data,
+            address - section.address,
+            address,
+            16,
+            cache=cache,
+            stop_at_terminator=True,
+        )
+        return cache[address]
 
     # ------------------------------------------------------------------
     # Pure per-address facts
@@ -161,7 +176,11 @@ class AnalysisContext:
         verdict = self._callconv.get(key)
         if verdict is None:
             verdict = check_entry_convention(
-                self.image, address, max_instructions=max_instructions, decode=self.decode
+                self.image,
+                address,
+                max_instructions=max_instructions,
+                decode=self.decode,
+                cache=self.decode_cache,
             )
             self._callconv[key] = verdict
         return verdict
@@ -293,6 +312,51 @@ class AnalysisContext:
         )
 
 
+def scan_pointer_windows(
+    data: bytes, begin: int, end: int, image: BinaryImage, candidates: set[int]
+) -> None:
+    """Add every 8-byte-window value of ``data[begin:end+7]`` that is an
+    executable address to ``candidates``.
+
+    Window start offsets run over ``[begin, end)``; semantically this is the
+    plain per-offset ``int.from_bytes`` + bounds-check loop.  When the
+    executable ranges collapse to one span (the overwhelmingly common
+    single-``.text`` case), every address in ``[lo, hi)`` shares the same
+    high bytes — the bytes above the span's varying part — so a qualifying
+    window must contain that exact byte suffix.  The scan then jumps between
+    suffix occurrences with ``bytes.find`` at C speed and only decodes the
+    handful of offsets that can possibly land in code; because the suffix is
+    anchored on a non-zero byte for any realistic load address, zero-filled
+    padding is skipped outright rather than matched.
+    """
+    add = candidates.add
+    bounds = image._executable_bounds
+    if len(bounds) == 1:
+        lo, hi = bounds[0]
+        if hi <= lo:
+            return
+        # Number of low bytes in which [lo, hi) addresses can differ; all
+        # higher bytes are fixed and become the search pattern.
+        nvar = ((lo ^ (hi - 1)).bit_length() + 7) // 8
+        if nvar <= 5:
+            pattern = (lo >> (8 * nvar)).to_bytes(8 - nvar, "little")
+            find = data.find
+            last = end - 1 + nvar
+            p = find(pattern, begin + nvar)
+            while -1 < p <= last:
+                offset = p - nvar
+                value = int.from_bytes(data[offset : offset + 8], "little")
+                if lo <= value < hi:
+                    add(value)
+                p = find(pattern, p + 1)
+            return
+    is_executable = image.is_executable_address
+    for offset in range(begin, end):
+        value = int.from_bytes(data[offset : offset + 8], "little")
+        if is_executable(value):
+            add(value)
+
+
 def scan_data_pointers(image: BinaryImage) -> set[int]:
     """Sliding-window scan: every 8-byte window of every data section whose
     value lands in executable code (§IV-E's deliberately exhaustive
@@ -300,10 +364,7 @@ def scan_data_pointers(image: BinaryImage) -> set[int]:
     candidates: set[int] = set()
     for section in image.data_sections:
         data = section.data
-        for offset in range(0, max(len(data) - 7, 0)):
-            value = int.from_bytes(data[offset : offset + 8], "little")
-            if image.is_executable_address(value):
-                candidates.add(value)
+        scan_pointer_windows(data, 0, max(len(data) - 7, 0), image, candidates)
     return candidates
 
 

@@ -20,6 +20,7 @@ false positives come from.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
@@ -30,6 +31,7 @@ from repro.analysis.xrefs import collect_potential_pointers
 from repro.dwarf.cfa_table import CfaTable, build_cfa_table
 from repro.dwarf.structs import FdeRecord
 from repro.elf.image import BinaryImage
+from repro.x86.instruction import _F_CALL, _F_JUMP
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.context import AnalysisContext
@@ -158,29 +160,27 @@ def _collect_references(
     context: "AnalysisContext | None" = None,
 ) -> dict[int, list[tuple[str, int]]]:
     """Map target address -> list of (kind, source) references."""
-    references: dict[int, list[tuple[str, int]]] = {}
-
-    def add(target: int, kind: str, source: int) -> None:
-        references.setdefault(target, []).append((kind, source))
+    references: defaultdict[int, list[tuple[str, int]]] = defaultdict(list)
 
     for insn in disassembly.instructions.values():
         target = insn.branch_target
         if target is None:
             continue
-        if insn.is_call:
-            add(target, "call", insn.address)
-        elif insn.is_jump:
-            add(target, "jump", insn.address)
+        flags = insn._flags
+        if flags & _F_CALL:
+            references[target].append(("call", insn.address))
+        elif flags & _F_JUMP:
+            references[target].append(("jump", insn.address))
 
     for constant in disassembly.code_constants:
         if image.is_executable_address(constant):
-            add(constant, "constant", -1)
+            references[constant].append(("constant", -1))
 
     for pointer in collect_potential_pointers(image, disassembly, context=context):
-        add(pointer, "data", -1)
+        references[pointer].append(("data", -1))
 
     for address in extra:
-        add(address, "extra", -1)
+        references[address].append(("extra", -1))
     return references
 
 

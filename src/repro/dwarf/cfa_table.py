@@ -7,17 +7,24 @@ analysis.  This module materialises an FDE's CFI program into a row table
 be looked up, and implements the paper's "complete stack height information"
 check: the CFA must always be expressed as ``rsp + offset`` with the canonical
 initial offset of 8.
+
+Tables are lazy: :func:`build_cfa_table` returns immediately, and the CFI
+program is evaluated into rows only on the first query (or ``rows`` /
+``uses_expression`` access).  FDE headers are parsed eagerly elsewhere — they
+seed entry candidates — but most functions in a binary are never unwound, so
+deferring row evaluation keeps it off the cold detection path.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.dwarf import constants as C
 from repro.dwarf.structs import FdeRecord
 
 
-@dataclass
+@dataclass(slots=True)
 class CfaRow:
     """Unwind rules valid for addresses in ``[start, end)``.
 
@@ -46,20 +53,51 @@ class CfaRow:
         return None
 
 
-@dataclass
 class CfaTable:
-    """The evaluated row table of a single FDE."""
+    """The evaluated row table of a single FDE.
 
-    fde: FdeRecord
-    rows: list[CfaRow]
-    uses_expression: bool = False
+    Row evaluation is deferred until the first access; the table rows are
+    contiguous from ``fde.pc_begin`` to ``fde.pc_end``, so lookups run on a
+    bisect over row start addresses.
+    """
+
+    __slots__ = ("fde", "_rows", "_starts", "_uses_expression", "_complete")
+
+    def __init__(self, fde: FdeRecord):
+        self.fde = fde
+        self._rows: list[CfaRow] | None = None
+        self._starts: list[int] | None = None
+        self._uses_expression = False
+        self._complete: bool | None = None
+
+    def _materialize(self) -> list[CfaRow]:
+        rows, uses_expression = _evaluate_fde(self.fde)
+        self._rows = rows
+        self._starts = [row.start for row in rows]
+        self._uses_expression = uses_expression
+        return rows
+
+    @property
+    def rows(self) -> list[CfaRow]:
+        rows = self._rows
+        return rows if rows is not None else self._materialize()
+
+    @property
+    def uses_expression(self) -> bool:
+        if self._rows is None:
+            self._materialize()
+        return self._uses_expression
 
     def row_at(self, address: int) -> CfaRow | None:
         """The row covering ``address``, or ``None`` if outside the FDE."""
-        for row in self.rows:
-            if row.start <= address < row.end:
-                return row
-        return None
+        rows = self._rows
+        if rows is None:
+            rows = self._materialize()
+        position = bisect_right(self._starts, address) - 1
+        if position < 0:
+            return None
+        row = rows[position]
+        return row if address < row.end else None
 
     def stack_height_at(self, address: int) -> int | None:
         """Stack height at ``address`` (bytes pushed since entry), if known."""
@@ -74,21 +112,26 @@ class CfaTable:
 
         True when (i) every row's CFA is ``rsp``-relative with a known offset
         and (ii) the first row starts from the canonical ``rsp + 8``.
+
+        Answered by a light scan over the CFI program that tracks only the
+        CFA rule — building rows (with their register-save dict copies) for
+        every FDE just to answer this gate was the main cost of the tail-call
+        stage.  The scan reproduces the row boundaries of :func:`_evaluate_fde`
+        exactly, so the verdict is identical to the row-based computation.
         """
-        if not self.rows or self.uses_expression:
-            return False
-        first = self.rows[0]
-        if first.cfa_register != C.DWARF_REG_RSP or first.cfa_offset != 8:
-            return False
-        return all(
-            row.cfa_register == C.DWARF_REG_RSP and row.cfa_offset is not None
-            for row in self.rows
-        )
+        complete = self._complete
+        if complete is None:
+            complete = self._complete = _scan_complete_stack_height(self.fde)
+        return complete
 
     def saved_registers_at(self, address: int) -> dict[int, int]:
         """DWARF register number -> CFA-relative save slot at ``address``."""
         row = self.row_at(address)
         return dict(row.register_offsets) if row is not None else {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "unevaluated" if self._rows is None else f"{len(self._rows)} rows"
+        return f"CfaTable(fde={self.fde!r}, {state})"
 
 
 @dataclass
@@ -102,7 +145,15 @@ class _State:
 
 
 def build_cfa_table(fde: FdeRecord) -> CfaTable:
-    """Evaluate a FDE's CFI program (with its CIE prologue) into rows."""
+    """Wrap a FDE's CFI program (with its CIE prologue) as a lazy row table.
+
+    The returned :class:`CfaTable` evaluates the program on first query.
+    """
+    return CfaTable(fde)
+
+
+def _evaluate_fde(fde: FdeRecord) -> tuple[list[CfaRow], bool]:
+    """Evaluate a FDE's CFI program into (rows, uses_expression)."""
     state = _State()
     uses_expression = False
 
@@ -140,7 +191,66 @@ def build_cfa_table(fde: FdeRecord) -> CfaTable:
     rows.append(_snapshot(state, location, fde.pc_end))
     # Collapse empty ranges that can appear when advance_loc reaches pc_end.
     rows = [row for row in rows if row.end > row.start]
-    return CfaTable(fde=fde, rows=rows, uses_expression=uses_expression)
+    return rows, uses_expression
+
+
+def _scan_complete_stack_height(fde: FdeRecord) -> bool:
+    """Row-free evaluation of :attr:`CfaTable.has_complete_stack_height`.
+
+    Walks the CIE prologue and the FDE program tracking only the CFA rule
+    (register, offset), snapshotting it at the same ``advance_loc``
+    boundaries where :func:`_evaluate_fde` emits rows.  Instructions that
+    only touch register save slots (``offset``/``restore``/``undefined``/
+    ``same_value``) cannot change the verdict and are skipped; any
+    expression opcode makes the full evaluation's ``uses_expression`` flag
+    permanent, so it short-circuits to an incomplete verdict here.
+    """
+    cfa_register: int | None = None
+    cfa_offset: int | None = None
+    for insn in fde.cie.initial_instructions:
+        name = insn.name
+        if name == "def_cfa":
+            cfa_register, cfa_offset = insn.operands
+        elif name == "def_cfa_register":
+            cfa_register = insn.operands[0]
+        elif name == "def_cfa_offset":
+            cfa_offset = insn.operands[0]
+        elif name in ("def_cfa_expression", "expression"):
+            return False
+
+    rows: list[tuple[int, int, int | None, int | None]] = []
+    saved: list[tuple[int | None, int | None]] = []
+    location = fde.pc_begin
+    for insn in fde.instructions:
+        name = insn.name
+        if name == "advance_loc":
+            delta = insn.operands[0]
+            rows.append((location, location + delta, cfa_register, cfa_offset))
+            location += delta
+        elif name == "def_cfa":
+            cfa_register, cfa_offset = insn.operands
+        elif name == "def_cfa_register":
+            cfa_register = insn.operands[0]
+        elif name == "def_cfa_offset":
+            cfa_offset = insn.operands[0]
+        elif name in ("def_cfa_expression", "expression"):
+            return False
+        elif name == "remember_state":
+            saved.append((cfa_register, cfa_offset))
+        elif name == "restore_state":
+            if saved:
+                cfa_register, cfa_offset = saved.pop()
+    rows.append((location, fde.pc_end, cfa_register, cfa_offset))
+
+    rows = [row for row in rows if row[1] > row[0]]
+    if not rows:
+        return False
+    if rows[0][2] != C.DWARF_REG_RSP or rows[0][3] != 8:
+        return False
+    return all(
+        register == C.DWARF_REG_RSP and offset is not None
+        for _start, _end, register, offset in rows
+    )
 
 
 def _apply(insn, state: _State, saved_states: list[_State]) -> bool:

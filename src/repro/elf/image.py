@@ -85,9 +85,23 @@ class BinaryImage:
     def section_containing(self, address: int) -> Section | None:
         return self.elf.section_containing(address)
 
+    @cached_property
+    def _executable_bounds(self) -> tuple[tuple[int, int], ...]:
+        """``(start, end)`` per executable section, frozen on first use.
+
+        Like the section index of :meth:`ElfFile.section_containing`, this
+        assumes sections are not mutated once analysis has started.
+        """
+        return tuple((s.address, s.end_address) for s in self.executable_sections)
+
     def is_executable_address(self, address: int) -> bool:
-        section = self.section_containing(address)
-        return section is not None and section.is_executable
+        # Pointer scanning probes this with every 8-byte window of every data
+        # section, so the check runs on precomputed integer bounds (almost
+        # always a single ``.text`` range) instead of a section lookup.
+        for bounds in self._executable_bounds:
+            if bounds[0] <= address < bounds[1]:
+                return True
+        return False
 
     def read(self, address: int, size: int) -> bytes:
         """Read bytes from the image at a virtual address."""

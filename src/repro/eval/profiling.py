@@ -1,0 +1,50 @@
+"""cProfile driver for the cold detection path.
+
+Used by ``fetch-detect profile`` and ``tools/profile_cold.py`` to attribute
+cold single-binary latency to pipeline stages.  The image and analysis
+context are constructed *inside* the profiled region: a cold run pays ELF
+and eh_frame parsing too, so the profile must charge them, matching the
+protocol of ``benchmarks/bench_cold_latency.py``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+from repro.core import AnalysisContext
+from repro.core.registry import create_detector
+from repro.elf.image import BinaryImage
+
+#: sort orders accepted by :func:`profile_cold_detection`
+SORT_ORDERS = ("cumulative", "tottime", "calls")
+
+
+def profile_cold_detection(
+    data: bytes,
+    *,
+    name: str = "binary",
+    detector: str = "fetch",
+    top: int = 25,
+    sort: str = "cumulative",
+) -> str:
+    """Profile one cold detection of ``data`` (ELF bytes); returns the report.
+
+    Everything a first-time request pays — ELF parse, eh_frame parse,
+    decoding, the analysis pipeline — runs under the profiler.  The report
+    is the ``pstats`` table of the ``top`` functions by ``sort`` order.
+    """
+    if sort not in SORT_ORDERS:
+        raise ValueError(f"unknown sort order {sort!r} (choose from {SORT_ORDERS})")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        image = BinaryImage.from_bytes(data, name=name)
+        create_detector(detector).detect(image, AnalysisContext(image))
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(sort).print_stats(top)
+    return stream.getvalue()

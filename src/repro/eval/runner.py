@@ -46,6 +46,7 @@ from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
 from repro.store import ArtifactStore, options_digest
 from repro.synth.compiler import SyntheticBinary
 from repro.synth.profiles import WildProfile
+from repro.x86.disassembler import DECODE_STATS
 
 
 # ----------------------------------------------------------------------
@@ -69,7 +70,14 @@ def _process_worker_init(corpus: list[Any]) -> None:
     _WORKER_CONTEXTS = {}
 
 
-def _process_invoke(payload: tuple[Callable[..., Any], int, tuple]) -> Any:
+def _process_invoke(payload: tuple[Callable[..., Any], int, tuple]) -> tuple[Any, int]:
+    """Run one task in a pool worker; returns ``(value, raw_decode_delta)``.
+
+    ``DECODE_STATS`` is process-local, so decode work done in a worker is
+    invisible to the parent.  Shipping the per-task delta back lets the
+    parent fold every worker's decode count into its own counter, making
+    process-backend readings exact instead of "compare serial passes".
+    """
     fn, index, fn_args = payload
     assert _WORKER_CORPUS is not None, "process pool initializer did not run"
     binary = _WORKER_CORPUS[index]
@@ -77,7 +85,9 @@ def _process_invoke(payload: tuple[Callable[..., Any], int, tuple]) -> Any:
     if context is None:
         context = AnalysisContext(getattr(binary, "image", binary))
         _WORKER_CONTEXTS[index] = context
-    return fn(binary, context, *fn_args)
+    before = DECODE_STATS.raw_decodes
+    value = fn(binary, context, *fn_args)
+    return value, DECODE_STATS.raw_decodes - before
 
 
 def _detect_binary_metrics(
@@ -277,9 +287,14 @@ class CorpusEvaluator:
             payloads = [
                 (fn, self._corpus_index[id(binary)], fn_args) for binary in binaries
             ]
-            return parallel_map(
+            wrapped = parallel_map(
                 _process_invoke, payloads, workers=self.workers, pool=self._process_pool()
             )
+            values = []
+            for value, decode_delta in wrapped:
+                DECODE_STATS.raw_decodes += decode_delta
+                values.append(value)
+            return values
         return parallel_map(
             lambda binary: fn(binary, self.context_for(binary), *fn_args),
             binaries,

@@ -15,7 +15,8 @@ The public surface is intentionally small:
 * :class:`~repro.x86.instruction.Instruction`,
 * :class:`~repro.x86.assembler.Assembler` for encoding,
 * :func:`~repro.x86.disassembler.decode_instruction` /
-  :func:`~repro.x86.disassembler.decode_range` for decoding,
+  :func:`~repro.x86.disassembler.decode_range` /
+  :func:`~repro.x86.disassembler.decode_block` for decoding,
 * :mod:`~repro.x86.semantics` helpers (stack deltas, register effects).
 """
 
@@ -47,6 +48,7 @@ from repro.x86.instruction import Instruction
 from repro.x86.assembler import Assembler
 from repro.x86.disassembler import (
     DecodeError,
+    decode_block,
     decode_instruction,
     decode_range,
 )
@@ -78,6 +80,7 @@ __all__ = [
     "Instruction",
     "Assembler",
     "DecodeError",
+    "decode_block",
     "decode_instruction",
     "decode_range",
 ]

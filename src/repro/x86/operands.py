@@ -6,16 +6,18 @@ Three operand kinds exist in the subset we model: registers (the
 the general ``[base + index*scale + disp]`` addressing form plus
 RIP-relative addressing, which is enough for every pattern compilers emit for
 data access, jump tables and PLT-style indirect transfers.
+
+Both classes are ``__slots__`` value objects: the decoder allocates one per
+operand on the cold path, so a dict-free layout and a hand-written
+constructor are worth the few lines of boilerplate they cost over a frozen
+dataclass.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.x86.registers import Register
 
 
-@dataclass(frozen=True)
 class Imm:
     """An immediate operand.
 
@@ -24,14 +26,27 @@ class Imm:
         size: encoded width in bytes (1, 4 or 8).
     """
 
-    value: int
-    size: int = 4
+    __slots__ = ("value", "size")
+
+    def __init__(self, value: int, size: int = 4):
+        self.value = value
+        self.size = size
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Imm:
+            return NotImplemented
+        return self.value == other.value and self.size == other.size
+
+    def __hash__(self) -> int:
+        return hash((Imm, self.value, self.size))
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Imm(value={self.value!r}, size={self.size!r})"
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return hex(self.value)
 
 
-@dataclass(frozen=True)
 class Mem:
     """A memory operand: ``[base + index*scale + disp]`` or ``[rip + disp]``.
 
@@ -44,18 +59,48 @@ class Mem:
         size: access size in bytes (used for display only).
     """
 
-    base: Register | None = None
-    index: Register | None = None
-    scale: int = 1
-    disp: int = 0
-    rip_relative: bool = False
-    size: int = 8
+    __slots__ = ("base", "index", "scale", "disp", "rip_relative", "size")
 
-    def __post_init__(self) -> None:
-        if self.scale not in (1, 2, 4, 8):
-            raise ValueError(f"invalid SIB scale: {self.scale}")
-        if self.rip_relative and (self.base is not None or self.index is not None):
+    def __init__(
+        self,
+        base: Register | None = None,
+        index: Register | None = None,
+        scale: int = 1,
+        disp: int = 0,
+        rip_relative: bool = False,
+        size: int = 8,
+    ):
+        if scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid SIB scale: {scale}")
+        if rip_relative and (base is not None or index is not None):
             raise ValueError("RIP-relative operands cannot have base/index registers")
+        self.base = base
+        self.index = index
+        self.scale = scale
+        self.disp = disp
+        self.rip_relative = rip_relative
+        self.size = size
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Mem:
+            return NotImplemented
+        return (
+            self.base == other.base
+            and self.index == other.index
+            and self.scale == other.scale
+            and self.disp == other.disp
+            and self.rip_relative == other.rip_relative
+            and self.size == other.size
+        )
+
+    def __hash__(self) -> int:
+        return hash((Mem, self.base, self.index, self.scale, self.disp, self.rip_relative, self.size))
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"Mem(base={self.base!r}, index={self.index!r}, scale={self.scale!r}, "
+            f"disp={self.disp!r}, rip_relative={self.rip_relative!r}, size={self.size!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         parts: list[str] = []

@@ -221,6 +221,22 @@ def test_process_pool_matches_serial_evaluation(tiny_corpora):
     assert [m.__dict__ for m in fde_parallel.per_binary] == [m.__dict__ for m in fde_serial.per_binary]
 
 
+def test_process_pool_aggregates_decode_stats(tiny_corpora):
+    """Worker decode counts fold back into the parent's ``DECODE_STATS``."""
+    from repro.x86.disassembler import DECODE_STATS
+
+    corpus = tiny_corpora["vanilla"]
+    before = DECODE_STATS.raw_decodes
+    CorpusEvaluator(corpus).run_detector(FetchDetector)
+    serial_decodes = DECODE_STATS.raw_decodes - before
+    assert serial_decodes > 0
+
+    before = DECODE_STATS.raw_decodes
+    with CorpusEvaluator(corpus, workers=2) as evaluator:
+        evaluator.run_detector(FetchDetector)
+    assert DECODE_STATS.raw_decodes - before == serial_decodes
+
+
 def test_process_pool_tool_comparison_matches_threads(tiny_corpora):
     from repro.eval import run_tool_comparison
 

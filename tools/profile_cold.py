@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Profile one cold detection run under cProfile.
+
+Standalone twin of ``fetch-detect profile``: loads an ELF binary, runs a
+single cold detection (image construction, eh_frame parse and the full
+pipeline all inside the profiled region) and prints the top-N functions.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_cold.py BINARY [--top N]
+        [--sort cumulative|tottime|calls] [--detector NAME]
+
+This is the driver used to pick — and afterwards verify — the cold-path
+optimisation targets: run it before and after a change and compare where
+the cumulative time goes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running from a checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.eval.profiling import SORT_ORDERS, profile_cold_detection  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("binary", help="path to the ELF binary to profile")
+    parser.add_argument("--detector", default="fetch", metavar="NAME")
+    parser.add_argument("--top", type=int, default=25, metavar="N")
+    parser.add_argument("--sort", choices=SORT_ORDERS, default="cumulative")
+    args = parser.parse_args(argv)
+
+    try:
+        data = Path(args.binary).read_bytes()
+    except OSError as error:
+        print(f"error: cannot load {args.binary}: {error}", file=sys.stderr)
+        return 1
+    try:
+        report = profile_cold_detection(
+            data,
+            name=args.binary,
+            detector=args.detector,
+            top=args.top,
+            sort=args.sort,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: cannot profile {args.binary}: {error}", file=sys.stderr)
+        return 1
+    print(report, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
