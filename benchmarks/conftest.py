@@ -63,12 +63,20 @@ def _jobs(config) -> int:
 
 
 @pytest.fixture(scope="session")
-def artifact_store() -> ArtifactStore | None:
-    """The shared artifact store, or ``None`` when disabled."""
+def artifact_store():
+    """The shared artifact store, or ``None`` when disabled.
+
+    The session's journal appends are folded into the index snapshot on
+    teardown, so the next harness run starts from a compact index.
+    """
     value = os.environ.get("REPRO_BENCH_STORE", "")
     if value.lower() in ("0", "off", "none", "no"):
-        return None
-    return ArtifactStore(value or STORE_DIRECTORY)
+        yield None
+        return
+    store = ArtifactStore(value or STORE_DIRECTORY)
+    yield store
+    if store.index.has_data():
+        store.compact_index()
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,10 @@ unchanged.  With a store (``--store`` or ``REPRO_STORE_DIR``), detection
 runs are cached by file content and reused.
 
 ``fetch-detect corpus build|info`` manages the content-addressed corpus
-store used by the evaluation stack.  ``fetch-detect serve`` runs the
+store used by the evaluation stack, and ``fetch-detect store
+gc|stats|migrate`` maintains the store itself: size/age-budgeted garbage
+collection, index-backed statistics (no tree walk) and on-disk layout
+migration.  ``fetch-detect serve`` runs the
 persistent detection service over a stdin/stdout JSON-lines protocol (see
 :mod:`repro.service.protocol`), and ``fetch-detect submit`` is its one-shot
 batch client: it submits paths through a :class:`DetectionService`, streams
@@ -45,6 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "corpus store management: 'fetch-detect corpus build|info'; "
+            "store maintenance: 'fetch-detect store gc|stats|migrate'; "
             "persistent detection service: 'fetch-detect serve' (JSON-lines "
             "protocol) and 'fetch-detect submit' (one-shot batch client); "
             "cold-path profiling: 'fetch-detect profile <binary>'"
@@ -310,23 +314,31 @@ def _render_detector_list() -> list[str]:
     return lines
 
 
+#: second-level words that route a two-word subcommand family
+_SUBCOMMAND_WORDS = {
+    "corpus": ("build", "info", "-h", "--help"),
+    "store": ("gc", "stats", "migrate", "-h", "--help"),
+}
+
+
 def _subcommand(argv: list[str]) -> str | None:
-    """The subcommand ``argv`` invokes (``corpus``/``serve``/``submit``/``profile``), if any.
+    """The subcommand ``argv`` invokes
+    (``corpus``/``store``/``serve``/``submit``/``profile``), if any.
 
     A binary that happens to be *named* like a subcommand can still be
     analysed: an existing file of that name wins, the subcommand routes
-    only otherwise.  For ``corpus``, additionally only a recognised
-    subcommand word after it routes there.
+    only otherwise.  For ``corpus`` and ``store``, additionally only a
+    recognised subcommand word after it routes there.
     """
-    if not argv or argv[0] not in ("corpus", "serve", "submit", "profile"):
+    if not argv or argv[0] not in ("corpus", "store", "serve", "submit", "profile"):
         return None
     word, rest = argv[0], argv[1:]
-    if word == "corpus":
-        if rest and rest[0] in ("build", "info", "-h", "--help"):
+    if word in _SUBCOMMAND_WORDS:
+        if rest and rest[0] in _SUBCOMMAND_WORDS[word]:
             return word
-        # bare "fetch-detect corpus": prefer an existing file of that name,
-        # otherwise show the subcommand usage error
-        return word if not rest and not os.path.exists("corpus") else None
+        # bare "fetch-detect corpus|store": prefer an existing file of that
+        # name, otherwise show the subcommand usage error
+        return word if not rest and not os.path.exists(word) else None
     return word if not os.path.exists(word) else None
 
 
@@ -335,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
     subcommand = _subcommand(argv)
     if subcommand == "corpus":
         return corpus_main(argv[1:])
+    if subcommand == "store":
+        return store_main(argv[1:])
     if subcommand == "serve":
         return serve_main(argv[1:])
     if subcommand == "submit":
@@ -465,6 +479,139 @@ def corpus_main(argv: list[str]) -> int:
     for name, count in rows.items():
         print(f"{name}: {count} binaries")
     print(f"# store {store.root}: {reused} corpus manifest(s) reused, {built} built")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# fetch-detect store gc|stats|migrate
+# ----------------------------------------------------------------------
+
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fetch-detect store",
+        description=(
+            "Maintain an artifact store: garbage-collect by age/size budget, "
+            "report index-backed statistics, migrate the on-disk layout."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    gc = subparsers.add_parser(
+        "gc", help="evict derived artifacts by age and/or size budget"
+    )
+    gc.add_argument("--store", default=None, metavar="DIR")
+    gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict oldest evictable entries until the footprint fits N bytes",
+    )
+    gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="D",
+        help="evict evictable entries not written for more than D days",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    gc.add_argument("--json", action="store_true")
+
+    stats = subparsers.add_parser(
+        "stats", help="report store statistics from the index (no tree walk)"
+    )
+    stats.add_argument("--store", default=None, metavar="DIR")
+    stats.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="rebuild the index from the object tree first (one slow walk)",
+    )
+    stats.add_argument("--json", action="store_true")
+
+    migrate = subparsers.add_parser(
+        "migrate",
+        help=(
+            "migrate the on-disk layout to the current version and rebuild "
+            "the index (keys are unchanged: every cached artifact stays warm)"
+        ),
+    )
+    migrate.add_argument("--store", default=None, metavar="DIR")
+    migrate.add_argument("--json", action="store_true")
+    return parser
+
+
+def store_main(argv: list[str]) -> int:
+    args = build_store_parser().parse_args(argv)
+    store = ArtifactStore(args.store) if args.store else ArtifactStore()
+
+    if args.command == "migrate":
+        report = store.migrate()
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(
+                f"# store {store.root}: layout "
+                f"v{report['from_layout']} -> v{report['to_layout']}, "
+                f"{report['moved']} file(s) moved, "
+                f"{report['already_placed']} already placed, "
+                f"{report['entries']} indexed"
+            )
+        return 0
+
+    if args.command == "stats":
+        if args.rebuild:
+            store.rebuild_index()
+        elif not store.index.has_data():
+            # a pre-index (legacy) store: build the index once so stats
+            # answer from it — and keep answering from it next time
+            store.rebuild_index()
+        description = store.describe()
+        if args.json:
+            print(json.dumps(description, indent=2, sort_keys=True))
+            return 0
+        index = description["index"]
+        print(
+            f"# store {store.root} (layout v{description['layout']}): "
+            f"{index['entries']} entries, {index['bytes']} bytes"
+        )
+        for namespace, bucket in sorted(index["namespaces"].items()):
+            print(
+                f"{namespace:<12} {bucket['entries']:>8} entries "
+                f"{bucket['bytes']:>12} bytes"
+            )
+        print(
+            f"# index: journal {index['journal_bytes']} bytes, "
+            f"snapshot {'yes' if index['compacted'] else 'no'}"
+        )
+        return 0
+
+    max_age_seconds = (
+        args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    )
+    report = store.gc(
+        max_bytes=args.max_bytes,
+        max_age_seconds=max_age_seconds,
+        dry_run=args.dry_run,
+    )
+    record = report.as_dict()
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    verb = "would evict" if args.dry_run else "evicted"
+    print(
+        f"# store {store.root}: {verb} {record['evicted']} entries "
+        f"({record['evicted_bytes']} bytes), kept {record['kept']} "
+        f"({record['kept_bytes']} bytes)"
+    )
+    for namespace, bucket in sorted(record["by_namespace"].items()):
+        print(
+            f"{namespace:<12} {verb} {bucket['evicted']:>6} "
+            f"({bucket['evicted_bytes']} bytes), kept {bucket['kept']}"
+        )
     return 0
 
 

@@ -1061,9 +1061,12 @@ class ScenarioMatrix:
             "cache": self.cache_stats,
         }
         if self.store is not None:
+            description = self.store.describe()
             record["store"] = {
                 "detector_invocations": self.detector_invocations,
                 **self.run_store_stats,
+                "layout": description["layout"],
+                "lock": description["lock"],
             }
         if extra:
             record["extra"] = extra

@@ -535,7 +535,9 @@ class DetectionService:
 
         ``store`` holds the hit/miss *deltas* since this service was
         created (not store-lifetime totals), so a front-end can report how
-        warm its own traffic ran.
+        warm its own traffic ran.  ``store_info`` describes the store
+        itself (root, layout version, index and lock statistics) from the
+        manifest index — no tree walk.
         """
         with self._lock:
             record: dict[str, Any] = {
@@ -550,4 +552,5 @@ class DetectionService:
             }
         if self.store is not None:
             record["store"] = self.store.stats_delta(self._stats_baseline)
+            record["store_info"] = self.store.describe()
         return record

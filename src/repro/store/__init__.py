@@ -1,6 +1,19 @@
 """Content-addressed artifact store for corpora, results and matrix cells.
 
-See :mod:`repro.store.store` for the on-disk layout.  Typical wiring::
+A layered subsystem (see ``docs/ARCHITECTURE.md``):
+
+* :mod:`repro.store.store` — the :class:`ArtifactStore` facade every
+  front-end uses;
+* :mod:`repro.store.backend` — the versioned on-disk layout behind the
+  :class:`StoreBackend` interface (sharded fanout, migration, durable
+  atomic writes);
+* :mod:`repro.store.locking` — cross-process :class:`FileLock` with
+  timeout and stale-lock recovery;
+* :mod:`repro.store.index` — append-only manifest index journal, so
+  stats and enumeration never walk the tree;
+* :mod:`repro.store.gc` — age/size-budget eviction.
+
+Typical wiring::
 
     from repro.store import ArtifactStore
     from repro.synth import build_scenario_matrix_corpora
@@ -12,12 +25,21 @@ See :mod:`repro.store.store` for the on-disk layout.  Typical wiring::
     matrix.run()                                           # warm: no detector runs
 """
 
+from repro.store.backend import (
+    LAYOUT_V1,
+    LAYOUT_V2,
+    FilesystemBackend,
+    StoreBackend,
+)
 from repro.store.digest import (
     blob_digest,
     canonical_json,
     options_digest,
     stable_digest,
 )
+from repro.store.gc import GCReport
+from repro.store.index import StoreIndex
+from repro.store.locking import FileLock, LockTimeout
 from repro.store.store import (
     STORE_FORMAT,
     ArtifactStore,
@@ -32,6 +54,14 @@ __all__ = [
     "default_store_root",
     "digest_of_binary",
     "elf_bytes_of",
+    "StoreBackend",
+    "FilesystemBackend",
+    "LAYOUT_V1",
+    "LAYOUT_V2",
+    "FileLock",
+    "LockTimeout",
+    "StoreIndex",
+    "GCReport",
     "blob_digest",
     "canonical_json",
     "options_digest",

@@ -17,36 +17,61 @@ re-runs reuse instead of recompute:
   (scenario, detector) cell of a :class:`~repro.eval.runner.ScenarioMatrix`
   run; deleting a cell file invalidates exactly that cell.
 
-All writes are atomic (tempfile + rename) so concurrent runs over one store
-never observe torn artifacts.  The store root defaults to the
+The store is a layered subsystem (see ``docs/ARCHITECTURE.md``):
+
+* :mod:`repro.store.backend` owns the versioned on-disk layout (sharded
+  directory fanout, v1→v2 migration, durable atomic writes);
+* :mod:`repro.store.locking` provides the cross-process advisory
+  :class:`FileLock` (timeout + stale-lock recovery) wrapping every
+  read-modify-write;
+* :mod:`repro.store.index` keeps the append-only manifest/index journal,
+  so :meth:`describe`, :meth:`corpus_manifests` and key enumeration never
+  scan the object tree;
+* :mod:`repro.store.gc` evicts by age and size budget
+  (``fetch-detect store gc``).
+
+All artifact writes are atomic *and durable* (tempfile + fsync + rename +
+directory fsync) so concurrent runs over one store never observe torn
+artifacts, even across a crash.  The store root defaults to the
 ``REPRO_STORE_DIR`` environment variable, falling back to ``.repro-store``
 in the working directory.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import os
 import pickle
-import tempfile
+import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
+from repro.store.backend import FilesystemBackend, StoreBackend
 from repro.store.digest import blob_digest, stable_digest
+from repro.store.index import StoreIndex
+from repro.store.locking import FileLock, LockTimeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.eval.metrics import BinaryMetrics
+    from repro.store.gc import GCReport
     from repro.synth.compiler import SyntheticBinary
 
-#: Bumped when the on-disk layout changes; part of every key, so a layout
-#: change invalidates old stores instead of misreading them.
+#: Bumped when the *record* format changes; part of every key, so a format
+#: change invalidates old stores instead of misreading them.  (Directory
+#: layout is versioned separately — see :mod:`repro.store.backend` — and
+#: never affects keys, which is what makes layout migration warm.)
 STORE_FORMAT = 1
 
 #: Attribute attached to binaries whose ELF digest is already known (set on
 #: store load and after the first digest computation), so reloaded binaries
 #: are never re-serialized just to learn their own digest.
 _DIGEST_ATTRIBUTE = "_store_elf_digest"
+
+#: Keep at most this many lock-wait samples (the contention benchmark
+#: reads them; a long-lived service must not grow without bound).
+_LOCK_WAIT_SAMPLES = 10_000
 
 
 def default_store_root() -> Path:
@@ -82,22 +107,47 @@ def digest_of_binary(binary: "SyntheticBinary") -> str:
 class ArtifactStore:
     """Content-addressed cache of corpora, detector results and matrix cells.
 
-    Thread safety: every write goes through :meth:`_atomic_write` (tempfile +
-    ``os.replace``), so readers — in this process, in concurrent worker
-    threads, or in other processes sharing the directory — observe either
-    the complete artifact or none of it, never a torn file.  Two writers
-    racing on one key both write the same content-addressed payload, so the
-    loser's replace is harmless.  The :attr:`stats` counters are plain dict
-    increments guarded by the GIL: individual counts are exact, but a
-    multi-counter snapshot taken while workers run is only approximate —
-    take :meth:`stats_snapshot` deltas around quiescent points (as
-    :class:`~repro.eval.runner.ScenarioMatrix` and the detection service
-    do).  The long-lived :class:`~repro.service.DetectionService` relies on
-    exactly these guarantees to share one store across its worker pool.
+    Thread safety: every write goes through the backend's durable atomic
+    write (tempfile + fsync + ``os.replace``), so readers — in this
+    process, in concurrent worker threads, or in other processes sharing
+    the directory — observe either the complete artifact or none of it,
+    never a torn file.  Two writers racing on one key both write the same
+    content-addressed payload, so the loser's replace is harmless.  The
+    :attr:`stats` counters are mutated under an internal lock, so
+    concurrent workers (the :class:`~repro.eval.executor.ShardedWorkerPool`
+    threads of the detection service) never lose increments; a
+    multi-counter snapshot taken while workers run is still only
+    approximate — take :meth:`stats_snapshot` deltas around quiescent
+    points (as :class:`~repro.eval.runner.ScenarioMatrix` and the
+    detection service do).
+
+    Cross-process read-modify-write sections (index journal appends and
+    compaction, GC, migration, corpus-build arbitration) serialise on one
+    advisory :class:`FileLock` at ``<root>/.lock`` with timeout and
+    stale-lock recovery; per-acquisition wait times accumulate in
+    :attr:`lock_waits` for the contention benchmark's percentiles.
     """
 
-    def __init__(self, root: str | os.PathLike | None = None):
-        self.root = Path(root) if root is not None else default_store_root()
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        *,
+        backend: StoreBackend | None = None,
+        lock_timeout: float = 30.0,
+        journal_limit_bytes: int = 1_000_000,
+    ):
+        if backend is not None:
+            self.backend = backend
+        else:
+            self.backend = FilesystemBackend(
+                Path(root) if root is not None else default_store_root()
+            )
+        self.root = self.backend.root
+        self.index = StoreIndex(self.root, journal_limit_bytes=journal_limit_bytes)
+        self._file_lock = FileLock(self.root / ".lock", timeout=lock_timeout)
+        self._stats_lock = threading.Lock()
+        #: seconds waited per cross-process lock acquisition (bounded ring)
+        self.lock_waits: list[float] = []
         self.stats: dict[str, int] = {
             "corpus_hits": 0,
             "corpus_misses": 0,
@@ -112,28 +162,45 @@ class ArtifactStore:
         }
 
     # -- plumbing -------------------------------------------------------
-    def _atomic_write(self, path: Path, data: bytes) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temporary = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    def _bump(self, counter: str) -> None:
+        """Increment one stats counter (lock-guarded: never loses updates)."""
+        with self._stats_lock:
+            self.stats[counter] += 1
+
+    def _note_lock_wait(self, waited: float) -> None:
+        with self._stats_lock:
+            self.lock_waits.append(waited)
+            if len(self.lock_waits) > _LOCK_WAIT_SAMPLES:
+                del self.lock_waits[: _LOCK_WAIT_SAMPLES // 2]
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Hold the store-wide cross-process lock (RMW sections only)."""
+        self._note_lock_wait(self._file_lock.acquire())
         try:
-            with os.fdopen(handle, "wb") as stream:
-                stream.write(data)
-            os.replace(temporary, path)
-        except BaseException:
-            try:
-                os.unlink(temporary)
-            except OSError:
-                pass
-            raise
+            yield
+        finally:
+            self._file_lock.release()
+
+    def _index_put(self, namespace: str, key: str, size_bytes: int) -> None:
+        """Journal one new artifact; compact when the journal outgrows its
+        budget.  The lock makes append-then-maybe-compact atomic across
+        processes — a concurrent writer's append can never be dropped."""
+        with self._locked():
+            size = self.index.append("put", namespace, key, size_bytes)
+            if size > self.index.journal_limit_bytes:
+                self.index.compact()
 
     def _record_path(self, namespace: str, key: str) -> Path:
-        return self.root / namespace / key[:2] / f"{key}.json"
+        return self.backend.record_path(namespace, key)
 
     def _load_record(self, namespace: str, key: str) -> dict[str, Any] | None:
-        path = self._record_path(namespace, key)
+        data = self.backend.load_record_bytes(namespace, key)
+        if data is None:
+            return None
         try:
-            record = json.loads(path.read_text())
-        except (OSError, ValueError):
+            record = json.loads(data)
+        except ValueError:
             return None
         if record.get("format") != STORE_FORMAT:
             return None
@@ -141,14 +208,21 @@ class ArtifactStore:
 
     def _save_record(self, namespace: str, key: str, record: dict[str, Any]) -> Path:
         record = {"format": STORE_FORMAT, **record}
-        path = self._record_path(namespace, key)
-        self._atomic_write(path, (json.dumps(record, indent=2, sort_keys=True) + "\n").encode())
+        data = (json.dumps(record, indent=2, sort_keys=True) + "\n").encode()
+        path, existed = self.backend.save_record_bytes(namespace, key, data)
+        if not existed:
+            self._index_put(namespace, key, len(data))
         return path
 
     # -- blobs ----------------------------------------------------------
     def blob_path(self, digest: str) -> Path:
-        """Where the blob named ``digest`` lives (whether or not it exists)."""
-        return self.root / "objects" / digest[:2] / digest
+        """Where the blob named ``digest`` lives (whether or not it exists).
+
+        The canonical path under the active layout; a blob written before
+        a layout migration may still live at its legacy path, which
+        :meth:`get_blob` finds transparently.
+        """
+        return self.backend.blob_path(digest)
 
     def put_blob(self, data: bytes) -> str:
         """Store raw bytes under their SHA-256; returns the digest.
@@ -159,9 +233,9 @@ class ArtifactStore:
         identical file via the atomic-rename path.
         """
         digest = blob_digest(data)
-        path = self.blob_path(digest)
-        if not path.exists():
-            self._atomic_write(path, data)
+        _path, existed = self.backend.save_blob(digest, data)
+        if not existed:
+            self._index_put("objects", digest, len(data))
         return digest
 
     def get_blob(self, digest: str) -> bytes | None:
@@ -170,10 +244,7 @@ class ArtifactStore:
         Never raises on a missing or unreadable blob — garbage-collected
         objects read as cache misses, matching :meth:`load_corpus`.
         """
-        try:
-            return self.blob_path(digest).read_bytes()
-        except OSError:
-            return None
+        return self.backend.load_blob(digest)
 
     # -- binary identity ------------------------------------------------
     def binary_digest(self, binary: "SyntheticBinary") -> str:
@@ -197,6 +268,32 @@ class ArtifactStore:
 
     def has_corpus(self, key: str) -> bool:
         return self._load_record("corpora", key) is not None
+
+    @contextlib.contextmanager
+    def build_lock(self, key: str, *, timeout: float = 600.0) -> Iterator[None]:
+        """Cross-process arbitration for one expensive build keyed ``key``.
+
+        Two processes racing to build the same corpus serialise here: the
+        loser waits, re-checks the store, and reloads instead of
+        rebuilding.  On lock timeout the caller proceeds to build anyway —
+        duplicated work is always preferred over a wedged build (the save
+        race itself is benign: both writers produce the same key).
+        """
+        lock = FileLock(
+            self.root / "locks" / f"build-{key[:16]}.lock",
+            timeout=timeout,
+            stale_after=3600.0,
+        )
+        try:
+            waited = lock.acquire()
+        except LockTimeout:
+            yield
+            return
+        self._note_lock_wait(waited)
+        try:
+            yield
+        finally:
+            lock.release()
 
     def save_corpus(
         self,
@@ -240,7 +337,7 @@ class ArtifactStore:
         """
         record = self._load_record("corpora", key)
         if record is None:
-            self.stats["corpus_misses"] += 1
+            self._bump("corpus_misses")
             return None
         from repro.elf.image import BinaryImage
         from repro.synth.compiler import SyntheticBinary
@@ -251,7 +348,7 @@ class ArtifactStore:
             elf_data = self.get_blob(row["elf"])
             plan_data = self.get_blob(row["plan"])
             if elf_data is None or plan_data is None:
-                self.stats["corpus_misses"] += 1
+                self._bump("corpus_misses")
                 return None
             binary = SyntheticBinary(
                 name=row["name"],
@@ -264,21 +361,30 @@ class ArtifactStore:
                 entries.append((WildProfile(**row["wild_profile"]), binary))
             else:
                 entries.append(binary)
-        self.stats["corpus_hits"] += 1
+        self._bump("corpus_hits")
         return entries
 
     def corpus_manifests(self) -> list[dict[str, Any]]:
-        """Every stored corpus manifest (for ``fetch-detect corpus info``)."""
+        """Every stored corpus manifest (for ``fetch-detect corpus info``).
+
+        Answered from the manifest index — no tree walk; a legacy
+        (pre-index) store falls back to one walk of ``corpora/`` until its
+        index is rebuilt (``store migrate`` / ``store stats --rebuild``).
+        """
         manifests = []
-        directory = self.root / "corpora"
-        if not directory.is_dir():
-            return manifests
-        for path in sorted(directory.glob("*/*.json")):
-            try:
-                record = json.loads(path.read_text())
-            except (OSError, ValueError):
+        if self.index.has_data():
+            keys = self.index.keys("corpora")
+        else:
+            keys = sorted(
+                key
+                for namespace, key, _path, _size, _mtime in self.backend.iter_entries()
+                if namespace == "corpora"
+            )
+        for key in keys:
+            record = self._load_record("corpora", key)
+            if record is None:
                 continue
-            record["key"] = path.stem
+            record["key"] = key
             manifests.append(record)
         return manifests
 
@@ -306,9 +412,9 @@ class ArtifactStore:
         """
         record = self._load_record("results", self._result_key(binary, detector, options_digest))
         if record is None:
-            self.stats["result_misses"] += 1
+            self._bump("result_misses")
             return None
-        self.stats["result_hits"] += 1
+        self._bump("result_hits")
         return _metrics_from_record(record["metrics"])
 
     def save_result(
@@ -331,20 +437,20 @@ class ArtifactStore:
         )
 
     # -- opt-in map-value cache -----------------------------------------
-    def _value_path(self, binary: "SyntheticBinary", cache_key: str) -> Path:
-        key = stable_digest(
+    def _value_key(self, binary: "SyntheticBinary", cache_key: str) -> str:
+        return stable_digest(
             {"binary": self.binary_digest(binary), "key": cache_key, "format": STORE_FORMAT}
         )
-        return self.root / "values" / key[:2] / f"{key}.pkl"
 
     def load_value(self, binary: "SyntheticBinary", cache_key: str) -> tuple[bool, Any]:
         """``(hit, value)`` for a cached per-binary map value."""
-        try:
-            data = self._value_path(binary, cache_key).read_bytes()
-        except OSError:
-            self.stats["value_misses"] += 1
+        data = self.backend.load_record_bytes(
+            "values", self._value_key(binary, cache_key)
+        )
+        if data is None:
+            self._bump("value_misses")
             return False, None
-        self.stats["value_hits"] += 1
+        self._bump("value_hits")
         return True, pickle.loads(data)
 
     def save_value(self, binary: "SyntheticBinary", cache_key: str, value: Any) -> None:
@@ -353,7 +459,11 @@ class ArtifactStore:
         The caller owns the key's meaning — see
         :meth:`CorpusEvaluator.map`'s ``cache_key`` contract.
         """
-        self._atomic_write(self._value_path(binary, cache_key), pickle.dumps(value, protocol=4))
+        key = self._value_key(binary, cache_key)
+        data = pickle.dumps(value, protocol=4)
+        _path, existed = self.backend.save_record_bytes("values", key, data)
+        if not existed:
+            self._index_put("values", key, len(data))
 
     # -- scenario-matrix cells ------------------------------------------
     def cell_key(
@@ -385,9 +495,9 @@ class ArtifactStore:
     def load_cell(self, key: str) -> dict[str, Any] | None:
         record = self._load_record("matrix", key)
         if record is None:
-            self.stats["cell_misses"] += 1
+            self._bump("cell_misses")
             return None
-        self.stats["cell_hits"] += 1
+        self._bump("cell_hits")
         return record
 
     def save_cell(self, key: str, record: dict[str, Any]) -> Path:
@@ -411,18 +521,77 @@ class ArtifactStore:
         """A cached ``fetch-detect`` run (starts, stages, merged parts)."""
         record = self._load_record("detections", key)
         if record is None:
-            self.stats["detection_misses"] += 1
+            self._bump("detection_misses")
             return None
-        self.stats["detection_hits"] += 1
+        self._bump("detection_hits")
         return record
 
     def save_detection(self, key: str, record: dict[str, Any]) -> Path:
         return self._save_record("detections", key, record)
 
+    # -- maintenance ----------------------------------------------------
+    def migrate(self) -> dict[str, int]:
+        """Migrate the on-disk layout to the current version and rebuild
+        the index (``fetch-detect store migrate``).
+
+        Keys never change, so every cached artifact stays warm: a
+        :class:`~repro.eval.runner.ScenarioMatrix` re-run over a migrated
+        store still performs zero detector invocations.
+        """
+        with self._locked():
+            report = self.backend.migrate()
+            report.update(self.index.rebuild(self.backend))
+        return report
+
+    def rebuild_index(self) -> dict[str, int]:
+        """Reconstruct the manifest index from the tree (one slow walk)."""
+        with self._locked():
+            return self.index.rebuild(self.backend)
+
+    def compact_index(self) -> int:
+        """Fold the index journal into its snapshot; returns live entries."""
+        with self._locked():
+            return self.index.compact()
+
+    def gc(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_age_seconds: float | None = None,
+        dry_run: bool = False,
+    ) -> "GCReport":
+        """Evict derived artifacts by age and/or size budget (see
+        :mod:`repro.store.gc`; corpus manifests are never evicted)."""
+        from repro.store.gc import collect
+
+        return collect(
+            self,
+            max_bytes=max_bytes,
+            max_age_seconds=max_age_seconds,
+            dry_run=dry_run,
+        )
+
     # -- introspection --------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Layout, index and lock statistics — answered without walking
+        the object tree (the ``fetch-detect store stats`` payload)."""
+        with self._stats_lock:
+            acquisitions = len(self.lock_waits)
+            total_wait = sum(self.lock_waits)
+        return {
+            "root": str(self.root),
+            "layout": self.backend.layout,
+            "index": self.index.stats(),
+            "lock": {
+                "acquisitions": acquisitions,
+                "wait_seconds_total": round(total_wait, 6),
+            },
+        }
+
     def stats_snapshot(self) -> dict[str, int]:
         """A copy of the hit/miss counters (for ``BENCH_*.json`` records)."""
-        return dict(self.stats)
+        with self._stats_lock:
+            return dict(self.stats)
 
     def stats_delta(self, before: dict[str, int]) -> dict[str, int]:
         """Counter deltas since a previous :meth:`stats_snapshot`.

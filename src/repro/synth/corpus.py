@@ -156,7 +156,12 @@ def _cached_build(
     params: dict[str, Any],
     build: Any,
 ) -> list:
-    """Reload the corpus for (``kind``, ``params``) or build and persist it."""
+    """Reload the corpus for (``kind``, ``params``) or build and persist it.
+
+    Concurrent processes racing to build the same corpus arbitrate on the
+    store's per-key build lock: the loser waits, re-checks the store and
+    reloads the winner's corpus instead of rebuilding it.
+    """
     if store is None:
         return build()
     params = {**params, "generator_version": GENERATOR_VERSION}
@@ -164,8 +169,13 @@ def _cached_build(
     cached = store.load_corpus(key)
     if cached is not None:
         return cached
-    entries = build()
-    store.save_corpus(key, kind, params, entries)
+    with store.build_lock(key):
+        if store.has_corpus(key):  # another process built it while we waited
+            cached = store.load_corpus(key)
+            if cached is not None:
+                return cached
+        entries = build()
+        store.save_corpus(key, kind, params, entries)
     return entries
 
 

@@ -176,6 +176,66 @@ def test_cli_corpus_build_and_info(tmp_path, capsys):
     assert "scenario=vanilla" in info
 
 
+def test_cli_store_stats_gc_migrate(tmp_path, capsys):
+    import json as json_module
+
+    store_dir = str(tmp_path / "maint-store")
+    build = ["corpus", "build", "--kind", "scenario-matrix", "--scale", "0.1",
+             "--programs", "1", "--store", store_dir]
+    assert main(build) == 0
+    capsys.readouterr()
+
+    assert main(["store", "stats", "--store", store_dir, "--json"]) == 0
+    stats = json_module.loads(capsys.readouterr().out)
+    assert stats["layout"] == 2
+    assert stats["index"]["entries"] > 0
+    assert stats["index"]["namespaces"]["corpora"]["entries"] == 6
+
+    assert main(["store", "gc", "--dry-run", "--max-age-days", "30",
+                 "--store", store_dir, "--json"]) == 0
+    preview = json_module.loads(capsys.readouterr().out)
+    assert preview["dry_run"] is True
+    assert preview["evicted"] == 0, "nothing is 30 days old yet"
+    assert preview["examined"] > 0
+
+    # evict everything evictable; manifests survive and corpora still list
+    assert main(["store", "gc", "--max-bytes", "0", "--store", store_dir]) == 0
+    assert "evicted" in capsys.readouterr().out
+    assert main(["corpus", "info", "--store", store_dir]) == 0
+    assert "6 corpus manifest(s)" in capsys.readouterr().out
+
+    assert main(["store", "migrate", "--store", store_dir]) == 0
+    assert "layout v2 -> v2" in capsys.readouterr().out
+
+
+def test_cli_store_migrates_v1_layout(tmp_path, capsys):
+    from repro.store import ArtifactStore, FilesystemBackend, LAYOUT_V1
+
+    store_dir = tmp_path / "v1-store"
+    legacy = ArtifactStore(backend=FilesystemBackend(store_dir, layout=LAYOUT_V1))
+    legacy.put_blob(b"legacy blob")
+
+    assert main(["store", "migrate", "--store", str(store_dir)]) == 0
+    assert "layout v1 -> v2" in capsys.readouterr().out
+
+    assert main(["store", "stats", "--store", str(store_dir)]) == 0
+    assert "layout v2" in capsys.readouterr().out
+
+
+def test_cli_binary_named_store_is_still_analysed(rich_binary, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "store").write_bytes(rich_binary.elf_bytes)
+    assert main(["store"]) == 0
+    assert "function starts detected in store" in capsys.readouterr().out
+
+
+def test_cli_bare_store_without_file_shows_subcommand_usage(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["store"])
+    assert "gc" in capsys.readouterr().err
+
+
 def test_cli_binary_named_corpus_is_still_analysed(rich_binary, tmp_path, monkeypatch, capsys):
     monkeypatch.chdir(tmp_path)
     (tmp_path / "corpus").write_bytes(rich_binary.elf_bytes)

@@ -3,12 +3,20 @@
 Covers the satellite checklist: corpus round-trip (build → persist →
 reload → byte-identical images and equal ground truth), result-cache
 hit/miss/invalidation on options change, ``ScenarioMatrix`` resume
-recomputing only deleted cells, and registry completeness.
+recomputing only deleted cells, and registry completeness — plus the
+store subsystem layers: layout versioning and migration (a migrated v1
+store stays warm), durable umask-honouring atomic writes, lock-guarded
+stats counters, the cross-process file lock (timeout, stale recovery),
+the manifest index (stats without a tree walk) and garbage collection.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
+import sys
+import threading
+import time
 
 import pytest
 
@@ -17,7 +25,16 @@ from repro.core import FetchDetector, FetchOptions
 from repro.core import registry
 from repro.elf.writer import write_elf
 from repro.eval import MATRIX_DETECTORS, CorpusEvaluator, ScenarioMatrix
-from repro.store import ArtifactStore, options_digest, stable_digest
+from repro.store import (
+    LAYOUT_V1,
+    LAYOUT_V2,
+    ArtifactStore,
+    FileLock,
+    FilesystemBackend,
+    LockTimeout,
+    options_digest,
+    stable_digest,
+)
 from repro.synth import build_scenario_corpus, build_wild_corpus
 
 import repro.baselines as baselines_package
@@ -265,3 +282,317 @@ def test_options_digest_includes_detector_cache_version(monkeypatch):
     assert options_digest(IdaLike()) != before, (
         "bumping a detector's registered version must invalidate its cache keys"
     )
+
+
+# ----------------------------------------------------------------------
+# Layout versioning and migration
+# ----------------------------------------------------------------------
+
+class TestLayoutAndMigration:
+    def _v1_store(self, root) -> ArtifactStore:
+        return ArtifactStore(backend=FilesystemBackend(root, layout=LAYOUT_V1))
+
+    def test_v1_root_is_detected_and_read_transparently(self, tmp_path, tiny_params):
+        root = tmp_path / "v1-store"
+        legacy = self._v1_store(root)
+        build_scenario_corpus("vanilla", store=legacy, **tiny_params)
+        digest = legacy.put_blob(b"legacy payload")
+        assert legacy.blob_path(digest).parent.parent.name == "objects", (
+            "v1 fanout is one level deep"
+        )
+
+        # a marker-less root holding v1 content keeps operating in v1
+        reopened = ArtifactStore(root)
+        assert reopened.backend.layout == LAYOUT_V1
+        assert reopened.get_blob(digest) == b"legacy payload"
+        assert reopened.load_corpus(reopened.corpus_key(
+            "scenario", {}
+        )) is None  # wrong key still misses cleanly
+        reloaded = build_scenario_corpus("vanilla", store=reopened, **tiny_params)
+        assert reopened.stats["corpus_hits"] == 1
+        assert reloaded
+
+    def test_migrated_v1_store_stays_warm_for_the_matrix(self, tmp_path, tiny_params):
+        root = tmp_path / "v1-store"
+        legacy = self._v1_store(root)
+        corpora = {
+            scenario: build_scenario_corpus(scenario, store=legacy, **tiny_params)
+            for scenario in ("vanilla", "padded")
+        }
+        cold = ScenarioMatrix(corpora, store=legacy, include=("fetch",))
+        cells = cold.run()
+        assert cold.detector_invocations > 0
+
+        migrated = ArtifactStore(root)
+        report = migrated.migrate()
+        assert report["from_layout"] == LAYOUT_V1
+        assert report["to_layout"] == LAYOUT_V2
+        assert report["moved"] > 0
+        assert (root / "layout.json").exists()
+
+        # keys never change: the warm matrix re-run performs zero
+        # detector invocations over the migrated store
+        fresh = ArtifactStore(root)
+        assert fresh.backend.layout == LAYOUT_V2
+        warm_corpora = {
+            scenario: build_scenario_corpus(scenario, store=fresh, **tiny_params)
+            for scenario in ("vanilla", "padded")
+        }
+        warm = ScenarioMatrix(warm_corpora, store=fresh, include=("fetch",))
+        assert warm.run() == cells
+        assert warm.detector_invocations == 0
+        assert fresh.stats["corpus_misses"] == 0
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        root = tmp_path / "v1-store"
+        legacy = self._v1_store(root)
+        digest = legacy.put_blob(b"payload")
+        ArtifactStore(root).migrate()
+        second = ArtifactStore(root).migrate()
+        assert second["moved"] == 0
+        assert second["already_placed"] > 0
+        assert ArtifactStore(root).get_blob(digest) == b"payload"
+
+    def test_v2_reads_fall_back_to_v1_paths(self, tmp_path):
+        """A half-migrated store never loses sight of its artifacts."""
+        root = tmp_path / "mixed-store"
+        legacy = self._v1_store(root)
+        digest = legacy.put_blob(b"old home")
+        v2 = FilesystemBackend(root, layout=LAYOUT_V2)
+        assert v2.load_blob(digest) == b"old home"
+        assert v2.find_blob(digest) == legacy.blob_path(digest)
+
+
+# ----------------------------------------------------------------------
+# Durable atomic writes
+# ----------------------------------------------------------------------
+
+class TestAtomicWrites:
+    def test_record_files_honour_the_umask(self, store):
+        previous = os.umask(0o027)
+        try:
+            digest = store.put_blob(b"permission probe")
+            path = store.save_detection(
+                store.detection_key(digest, "fetch", "opts"), {"function_starts": []}
+            )
+        finally:
+            os.umask(previous)
+        assert (os.stat(path).st_mode & 0o777) == 0o640, (
+            "mkstemp's 0600 must be widened to honour the process umask"
+        )
+        blob = store.backend.find_blob(digest)
+        assert (os.stat(blob).st_mode & 0o777) == 0o640
+
+    def test_failed_write_leaves_no_temp_files(self, store, monkeypatch):
+        from repro.store import backend as backend_module
+
+        def explode(fd):
+            raise OSError("fsync failed")
+
+        monkeypatch.setattr(backend_module.os, "fsync", explode)
+        with pytest.raises(OSError):
+            store.put_blob(b"doomed")
+        leftovers = [
+            path
+            for path in (store.root / "objects").rglob(".tmp-*")
+        ] if (store.root / "objects").exists() else []
+        assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# Stats counters under concurrency
+# ----------------------------------------------------------------------
+
+class TestStatsConcurrency:
+    def test_concurrent_increments_are_never_lost(self, store):
+        """Regression for the unguarded ``stats[...] += 1`` data race."""
+        threads = 8
+        increments = 2_000
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # force aggressive preemption
+        try:
+            def hammer():
+                for _ in range(increments):
+                    store._bump("result_hits")
+
+            workers = [threading.Thread(target=hammer) for _ in range(threads)]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        finally:
+            sys.setswitchinterval(previous)
+        assert store.stats["result_hits"] == threads * increments
+
+    def test_snapshot_and_delta_are_copies(self, store):
+        snapshot = store.stats_snapshot()
+        store._bump("cell_hits")
+        assert snapshot["cell_hits"] == 0
+        assert store.stats_delta(snapshot)["cell_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Cross-process file lock
+# ----------------------------------------------------------------------
+
+class TestFileLock:
+    def test_timeout_raises_instead_of_hanging(self, tmp_path):
+        path = tmp_path / "contended.lock"
+        holder = FileLock(path)
+        holder.acquire()
+        try:
+            waiter = FileLock(path, timeout=0.1, stale_after=3600.0)
+            start = time.monotonic()
+            with pytest.raises(LockTimeout):
+                waiter.acquire()
+            assert time.monotonic() - start < 5.0
+        finally:
+            holder.release()
+
+    def test_dead_owner_lock_is_broken_immediately(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        probe = context.Process(target=lambda: None)
+        probe.start()
+        probe.join()  # a pid that provably no longer exists
+
+        path = tmp_path / "stale.lock"
+        path.write_text(f"{probe.pid} {time.time():.3f}\n")
+        lock = FileLock(path, timeout=5.0, stale_after=3600.0)
+        assert lock.acquire() < 5.0, "dead-owner lock must be broken, not waited out"
+        lock.release()
+
+    def test_old_lock_is_broken_by_age(self, tmp_path):
+        path = tmp_path / "ancient.lock"
+        path.write_text("not-a-pid\n")
+        ancient = time.time() - 7200
+        os.utime(path, (ancient, ancient))
+        lock = FileLock(path, timeout=5.0, stale_after=60.0)
+        assert lock.acquire() < 5.0
+        lock.release()
+
+    def test_acquire_reports_wait_and_store_records_it(self, store):
+        with store._locked():
+            pass
+        assert len(store.lock_waits) == 1
+        assert store.lock_waits[0] >= 0.0
+        assert store.describe()["lock"]["acquisitions"] == 1
+
+
+# ----------------------------------------------------------------------
+# Manifest index
+# ----------------------------------------------------------------------
+
+class TestStoreIndex:
+    def test_stats_answer_without_walking_the_tree(self, store, monkeypatch):
+        digest = store.put_blob(b"indexed blob")
+        store.save_detection(
+            store.detection_key(digest, "fetch", "opts"),
+            {"function_starts": [1]},
+        )
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("stats must not walk the object tree")
+
+        monkeypatch.setattr(store.backend, "iter_entries", forbidden)
+        description = store.describe()
+        assert description["index"]["entries"] == 2
+        assert description["index"]["namespaces"]["objects"]["entries"] == 1
+        assert description["index"]["namespaces"]["detections"]["entries"] == 1
+
+    def test_manifest_listing_uses_the_index(self, store, tiny_params, monkeypatch):
+        build_scenario_corpus("vanilla", store=store, **tiny_params)
+
+        real_iter = store.backend.iter_entries
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("corpus_manifests must not walk the tree")
+
+        monkeypatch.setattr(store.backend, "iter_entries", forbidden)
+        manifests = store.corpus_manifests()
+        assert len(manifests) == 1
+        assert manifests[0]["kind"] == "scenario"
+        monkeypatch.setattr(store.backend, "iter_entries", real_iter)
+
+    def test_journal_compacts_into_snapshot_at_the_limit(self, tmp_path):
+        store = ArtifactStore(tmp_path / "small-journal", journal_limit_bytes=256)
+        for index in range(8):
+            store.put_blob(f"blob {index}".encode())
+        stats = store.index.stats()
+        assert stats["compacted"], "the tiny journal budget must force compaction"
+        assert stats["entries"] == 8
+        assert stats["journal_bytes"] <= 256
+
+    def test_duplicate_saves_index_once(self, store):
+        digest = store.put_blob(b"same bytes")
+        assert store.put_blob(b"same bytes") == digest
+        assert store.index.stats()["entries"] == 1
+
+    def test_rebuild_recovers_a_deleted_index(self, store):
+        store.put_blob(b"one")
+        store.put_blob(b"two")
+        import shutil
+
+        shutil.rmtree(store.index.directory)
+        assert not store.index.has_data()
+        assert ArtifactStore(store.root).rebuild_index()["entries"] == 2
+
+    def test_torn_journal_line_is_skipped(self, store):
+        store.put_blob(b"whole line")
+        with open(store.index.journal_path, "ab") as stream:
+            stream.write(b'{"op": "put", "ns": "objec')  # simulated torn write
+        assert store.index.stats()["entries"] == 1
+
+
+# ----------------------------------------------------------------------
+# Garbage collection
+# ----------------------------------------------------------------------
+
+class TestGarbageCollection:
+    def test_age_eviction_spares_corpus_manifests(self, store, tiny_params):
+        from repro.store.gc import collect
+
+        build_scenario_corpus("vanilla", store=store, **tiny_params)
+        future = time.time() + 10 * 86400
+        report = collect(store, max_age_seconds=86400.0, now=future)
+        assert report.evicted > 0, "blobs older than a day must be evicted"
+        assert "corpora" not in report.by_namespace or (
+            report.by_namespace["corpora"]["evicted"] == 0
+        )
+        manifests = store.corpus_manifests()
+        assert len(manifests) == 1, "manifests survive GC"
+        # the gutted corpus degrades to a clean miss, never an error
+        assert store.load_corpus(manifests[0]["key"]) is None
+
+    def test_size_budget_evicts_oldest_first(self, tmp_path):
+        store = ArtifactStore(tmp_path / "gc-store")
+        old_digest = store.put_blob(b"o" * 1000)
+        path = store.backend.find_blob(old_digest)
+        ancient = time.time() - 3600
+        os.utime(path, (ancient, ancient))
+        new_digest = store.put_blob(b"n" * 1000)
+
+        from repro.store.gc import collect
+
+        report = collect(store, max_bytes=1500)
+        assert report.evicted == 1
+        assert store.get_blob(old_digest) is None, "the older blob goes first"
+        assert store.get_blob(new_digest) is not None
+
+    def test_dry_run_deletes_nothing_and_gc_updates_the_index(self, store):
+        digest = store.put_blob(b"ephemeral")
+        preview = store.gc(max_bytes=0, dry_run=True)
+        assert preview.evicted == 1
+        assert store.get_blob(digest) == b"ephemeral"
+
+        report = store.gc(max_bytes=0)
+        assert report.evicted == 1
+        assert store.get_blob(digest) is None
+        assert store.index.stats()["entries"] == 0, "GC must heal the index"
+
+    def test_no_bounds_is_an_inventory_pass(self, store):
+        store.put_blob(b"kept")
+        report = store.gc()
+        assert report.evicted == 0
+        assert report.kept == 1
