@@ -142,7 +142,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="show which pipeline stage contributed each detection",
     )
+    _add_faults_argument(parser)
     return parser
+
+
+def _add_faults_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "install a deterministic fault-injection plan, e.g. "
+            "'seed=7;detect:raise:rate=0.2,max=5;worker:kill:rate=0.1' "
+            "(also honoured from REPRO_FAULTS; see repro.resilience.faults)"
+        ),
+    )
+
+
+def _apply_faults(args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    """Install the ``--faults`` plan (validated; bad specs are usage errors)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return
+    from repro.resilience import faults
+
+    try:
+        faults.install(spec)
+    except ValueError as error:
+        parser.error(f"--faults: {error}")
 
 
 def _make_detector(args: argparse.Namespace):
@@ -358,6 +385,7 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_faults(args, parser)
 
     if args.list_detectors:
         for line in _render_detector_list():
@@ -712,6 +740,7 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--store", nargs="?", const="", default=None, metavar="DIR")
     parser.add_argument("--no-store", action="store_true")
+    _add_faults_argument(parser)
 
 
 def _make_service(args: argparse.Namespace):
@@ -741,7 +770,9 @@ def build_serve_parser() -> argparse.ArgumentParser:
 def serve_main(argv: list[str]) -> int:
     from repro.service import ServeSession
 
-    args = build_serve_parser().parse_args(argv)
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    _apply_faults(args, parser)
     with _make_service(args) as service:
         return ServeSession(service, sys.stdin, sys.stdout).run()
 
@@ -776,6 +807,7 @@ def build_submit_parser() -> argparse.ArgumentParser:
 def submit_main(argv: list[str]) -> int:
     parser = build_submit_parser()
     args = parser.parse_args(argv)
+    _apply_faults(args, parser)
     for name in args.detector or ():
         try:
             detector_info(name)

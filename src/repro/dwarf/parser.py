@@ -108,34 +108,46 @@ def parse_eh_frame(
 
     while pos + 4 <= len(data):
         entry_offset = pos
-        (length,) = struct.unpack_from("<I", data, pos)
-        pos += 4
-        if length == 0:
-            break
-        if length == 0xFFFFFFFF:
-            raise EhFrameParseError("64-bit DWARF entries are not supported")
-        entry_end = pos + length
-        if entry_end > len(data):
-            raise EhFrameParseError("entry length exceeds section size")
+        try:
+            (length,) = struct.unpack_from("<I", data, pos)
+            pos += 4
+            if length == 0:
+                break
+            if length == 0xFFFFFFFF:
+                raise EhFrameParseError("64-bit DWARF entries are not supported")
+            entry_end = pos + length
+            if entry_end > len(data):
+                raise EhFrameParseError("entry length exceeds section size")
 
-        (cie_id,) = struct.unpack_from("<I", data, pos)
-        id_field_offset = pos
-        pos += 4
+            (cie_id,) = struct.unpack_from("<I", data, pos)
+            id_field_offset = pos
+            pos += 4
 
-        if cie_id == 0:
-            cie = _parse_cie(data, pos, entry_end, entry_offset, section_address, deref)
-            cies[entry_offset] = cie
-        else:
-            cie_offset = id_field_offset - cie_id
-            cie = cies.get(cie_offset)
-            if cie is None:
-                raise EhFrameParseError(
-                    f"FDE at {entry_offset:#x} references unknown CIE at {cie_offset:#x}"
+            if cie_id == 0:
+                cie = _parse_cie(data, pos, entry_end, entry_offset, section_address, deref)
+                cies[entry_offset] = cie
+            else:
+                cie_offset = id_field_offset - cie_id
+                cie = cies.get(cie_offset)
+                if cie is None:
+                    raise EhFrameParseError(
+                        f"FDE at {entry_offset:#x} references unknown CIE at {cie_offset:#x}"
+                    )
+                fdes.append(
+                    _parse_fde(data, pos, entry_end, entry_offset, cie, section_address, deref)
                 )
-            fdes.append(
-                _parse_fde(data, pos, entry_end, entry_offset, cie, section_address, deref)
-            )
-        pos = entry_end
+            pos = entry_end
+        except EhFrameParseError:
+            raise
+        # Corrupt sections must fail as *parse errors*, never as the raw
+        # struct/index/decode faults malformed lengths and truncated
+        # pointers bottom out in.  EhFrameParseError subclasses ValueError,
+        # hence the re-raise clause above this one.
+        except (struct.error, ValueError, IndexError, KeyError, OverflowError) as error:
+            raise EhFrameParseError(
+                f"malformed .eh_frame entry at {entry_offset:#x}: "
+                f"{type(error).__name__}: {error}"
+            ) from error
 
     return list(cies.values()), fdes
 
@@ -222,6 +234,10 @@ def _parse_fde(
     pc_range, pos = _read_encoded(
         data, pos, C.unsigned_pointer_format(encoding), section_address + pos
     )
+    if pc_begin < 0:
+        # A signed pointer read of corrupt data can go negative; no real
+        # function lives at a negative address.
+        raise EhFrameParseError(f"FDE at {entry_offset:#x} has a negative PC begin")
     if pc_range < 0:
         raise EhFrameParseError(f"FDE at {entry_offset:#x} has a negative PC range")
 

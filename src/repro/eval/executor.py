@@ -8,22 +8,56 @@ Two primitives live here:
   process pool when real CPU parallelism is requested (``workers``), a
   thread pool when only I/O-and-GIL-bound concurrency is wanted (``jobs``),
   and a plain serial loop otherwise.  Results always come back in input
-  order.
+  order.  The process backend *survives a broken pool*: when a child is
+  killed (OOM, SIGKILL, an injected ``pool.child`` fault) the pool is
+  respawned — via ``pool_factory`` when the caller owns a persistent pool —
+  and only the unfinished items are retried, up to ``max_respawns`` times.
 * :class:`ShardedWorkerPool` — the long-lived counterpart used by
   :class:`repro.service.DetectionService`: worker threads that persist
   across batches, each draining its own FIFO queue, with a deterministic
   task-key → worker mapping so all work for one key (a binary content
-  digest) lands on one thread in submission order.
+  digest) lands on one thread in submission order.  Workers are
+  *supervised*: a thread that dies (a :class:`~repro.resilience.faults.
+  WorkerKilled` injection, or any ``BaseException`` escaping a task) is
+  restarted in place, and a task that was queued-but-not-started when the
+  worker died is requeued at the front of its shard — exactly-once for
+  unstarted tasks, at-most-once for started ones.
 """
 
 from __future__ import annotations
 
-import queue
+import os
 import threading
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, Iterable, TypeVar
 
+from repro.resilience import faults
+
 _Item = TypeVar("_Item")
+
+#: Environment variable carrying the pool-respawn generation.  Forked
+#: process-pool children key their ``pool.child`` fault draws on it, so a
+#: respawned pool re-rolls instead of deterministically re-killing itself
+#: on the same item forever.
+FAULT_EPOCH_VAR = "REPRO_FAULT_EPOCH"
+
+_respawn_lock = threading.Lock()
+#: process pools respawned after breaking, process-wide (chaos-bench telemetry)
+POOL_RESPAWNS = 0
+
+
+def _bump_fault_epoch() -> None:
+    global POOL_RESPAWNS
+    with _respawn_lock:
+        POOL_RESPAWNS += 1
+        epoch = int(os.environ.get(FAULT_EPOCH_VAR, "0")) + 1
+        os.environ[FAULT_EPOCH_VAR] = str(epoch)
 
 
 def parallel_map(
@@ -33,39 +67,151 @@ def parallel_map(
     jobs: int = 1,
     workers: int = 0,
     pool: Executor | None = None,
+    pool_factory: Callable[[], Executor] | None = None,
+    max_respawns: int = 2,
 ) -> list[Any]:
     """Ordered ``map(fn, items)`` over the selected backend.
 
     ``workers > 1`` (with more than one item) selects the process backend:
     ``fn`` and the items must be picklable.  A persistent ``pool`` may be
     supplied to amortise worker start-up across calls — it is *not* shut
-    down here; without one a pool is created and torn down per call.
-    Otherwise ``jobs > 1`` fans out over a thread pool, and anything else
-    runs serially.
+    down here unless it breaks; without one a pool is created and torn down
+    per call.  Otherwise ``jobs > 1`` fans out over a thread pool, and
+    anything else runs serially.
+
+    When a process-pool child dies the executor raises ``BrokenExecutor``
+    for every in-flight future.  Finished results are kept, the pool is
+    replaced (``pool_factory()`` when given — the owner's hook to also
+    retire its broken persistent pool — else a fresh owned pool), and only
+    the unfinished items are resubmitted, at most ``max_respawns`` times
+    before the breakage propagates.  Items must therefore tolerate
+    at-most-one re-execution (detector runs are pure, so they do).
 
     Thread safety: ``parallel_map`` itself is safe to call concurrently from
     several threads (each call owns its pool, or shares an externally-owned
-    ``pool`` whose ``map`` is thread-safe); it is ``fn`` that must tolerate
+    ``pool`` whose methods are thread-safe); it is ``fn`` that must tolerate
     concurrent invocation when ``jobs``/``workers`` exceed one.
     """
     items = list(items)
     if workers > 1 and len(items) > 1:
-        if pool is not None:
-            return list(pool.map(fn, items))
-        with ProcessPoolExecutor(max_workers=workers) as process_pool:
-            return list(process_pool.map(fn, items))
+        return _process_map(
+            fn,
+            items,
+            workers=workers,
+            pool=pool,
+            pool_factory=pool_factory,
+            max_respawns=max_respawns,
+        )
     if jobs > 1 and len(items) > 1:
         with ThreadPoolExecutor(max_workers=jobs) as thread_pool:
             return list(thread_pool.map(fn, items))
     return [fn(item) for item in items]
 
 
+def _submit_round(
+    pool: Executor,
+    fn: Callable[[_Item], Any],
+    items: list[_Item],
+    pending: list[int],
+    results: list[Any],
+) -> list[int]:
+    """One submit/collect pass; returns indices lost to a broken pool.
+
+    Task exceptions (``fn`` raising) propagate to the caller exactly as the
+    plain ``pool.map`` path used to — only *pool* failures are absorbed.
+    """
+    futures: list[tuple[int, Any]] = []
+    unfinished: list[int] = []
+    try:
+        for index in pending:
+            futures.append((index, pool.submit(fn, items[index])))
+    except (BrokenExecutor, RuntimeError):
+        submitted = {index for index, _ in futures}
+        unfinished.extend(index for index in pending if index not in submitted)
+    for index, future in futures:
+        try:
+            results[index] = future.result()
+        except BrokenExecutor:
+            unfinished.append(index)
+    return sorted(unfinished)
+
+
+def _process_map(
+    fn: Callable[[_Item], Any],
+    items: list[_Item],
+    *,
+    workers: int,
+    pool: Executor | None,
+    pool_factory: Callable[[], Executor] | None,
+    max_respawns: int,
+) -> list[Any]:
+    results: list[Any] = [None] * len(items)
+    owned: list[Executor] = []
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        owned.append(pool)
+    respawns = 0
+    try:
+        pending = list(range(len(items)))
+        while pending:
+            pending = _submit_round(pool, fn, items, pending, results)
+            if not pending:
+                break
+            if respawns >= max_respawns:
+                raise BrokenExecutor(
+                    f"process pool still broken after {respawns} respawns; "
+                    f"{len(pending)} of {len(items)} items unfinished"
+                )
+            respawns += 1
+            _bump_fault_epoch()
+            pool.shutdown(wait=False)
+            if pool_factory is not None:
+                pool = pool_factory()
+            else:
+                pool = ProcessPoolExecutor(max_workers=max(2, workers))
+                owned.append(pool)
+        return results
+    finally:
+        for executor in owned:
+            executor.shutdown(wait=False)
+
+
 #: Queue sentinel telling a :class:`ShardedWorkerPool` worker to exit.
 _STOP = object()
 
 
+class _ShardQueue:
+    """Unbounded FIFO with a front-of-queue lane for requeued tasks.
+
+    ``queue.SimpleQueue`` has no way to put an item back *ahead* of later
+    submissions, which worker supervision needs: a task requeued after its
+    worker died must run before tasks submitted after it, or the per-key
+    ordering contract breaks.
+    """
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+
+    def put(self, item: Any) -> None:
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify()
+
+    def put_front(self, item: Any) -> None:
+        with self._cond:
+            self._items.appendleft(item)
+            self._cond.notify()
+
+    def get(self) -> Any:
+        with self._cond:
+            while not self._items:
+                self._cond.wait()
+            return self._items.popleft()
+
+
 class ShardedWorkerPool:
-    """Long-lived worker threads, each draining its own FIFO task queue.
+    """Long-lived, supervised worker threads, each draining its own queue.
 
     :func:`parallel_map` spins its pool up and down per call, which is right
     for one-shot batch evaluation but wrong for a process that stays up: a
@@ -79,9 +225,15 @@ class ShardedWorkerPool:
     cache.
 
     Tasks are bare callables and own their error handling: a task that
-    raises is recorded in :attr:`task_errors` (most recent last, bounded)
-    and the worker moves on.  The service never lets exceptions reach the
-    pool — failures are folded into per-entry results instead.
+    raises an ``Exception`` is recorded in :attr:`task_errors` (most recent
+    last, bounded) and the worker moves on.  A ``BaseException`` — notably
+    an injected :class:`~repro.resilience.faults.WorkerKilled` — unwinds
+    the worker thread instead, and the supervisor takes over: the thread is
+    restarted in place (:attr:`worker_restarts`) and, when the death struck
+    *before* the dequeued task started, that task is requeued at the front
+    of its shard (:attr:`requeued_tasks`) so it is never lost and never run
+    twice.  A death mid-task does **not** requeue — the task may have had
+    side effects, and the service layer's retry policy owns that case.
 
     Thread safety: :meth:`submit` may be called from any thread, including
     from tasks already running on the pool; :meth:`close` must be called
@@ -93,20 +245,28 @@ class ShardedWorkerPool:
 
     def __init__(self, workers: int, *, name: str = "shard-worker"):
         self.workers = max(1, int(workers))
+        self.name = name
         self.task_errors: list[BaseException] = []
+        #: dead worker threads restarted by the supervisor
+        self.worker_restarts = 0
+        #: in-flight tasks requeued after their worker died pre-start
+        self.requeued_tasks = 0
         self._closed = False
         self._lock = threading.Lock()
-        self._queues: list[queue.SimpleQueue] = [
-            queue.SimpleQueue() for _ in range(self.workers)
-        ]
-        self._threads = [
-            threading.Thread(
-                target=self._drain, args=(task_queue,), name=f"{name}-{index}", daemon=True
-            )
-            for index, task_queue in enumerate(self._queues)
+        self._queues: list[_ShardQueue] = [_ShardQueue() for _ in range(self.workers)]
+        #: per-shard task dequeued but not yet started (requeue on death)
+        self._current: list[Any] = [None] * self.workers
+        self._threads: list[threading.Thread] = [
+            self._spawn(index, generation=0) for index in range(self.workers)
         ]
         for thread in self._threads:
             thread.start()
+
+    def _spawn(self, shard: int, *, generation: int) -> threading.Thread:
+        suffix = f"-{shard}" if generation == 0 else f"-{shard}r{generation}"
+        return threading.Thread(
+            target=self._run, args=(shard,), name=f"{self.name}{suffix}", daemon=True
+        )
 
     def shard_of(self, key: int | str) -> int:
         """The worker index ``key`` routes to (stable for the pool's life)."""
@@ -127,19 +287,53 @@ class ShardedWorkerPool:
             self._queues[shard].put(task)
         return shard
 
-    def _drain(self, task_queue: queue.SimpleQueue) -> None:
+    # -- worker loop + supervision --------------------------------------
+    def _run(self, shard: int) -> None:
+        try:
+            self._drain(shard)
+        except BaseException:  # noqa: BLE001 - worker death, supervised below
+            self._revive(shard)
+
+    def _drain(self, shard: int) -> None:
+        task_queue = self._queues[shard]
         while True:
             task = task_queue.get()
             if task is _STOP:
                 return
+            # Window where a worker death must requeue: the task is ours
+            # but has not started.  The ``worker`` fault site fires inside
+            # this window, so an injected kill exercises exactly the
+            # requeue path and can never double-execute the task.
+            self._current[shard] = task
+            faults.fire("worker", str(shard))
             try:
+                self._current[shard] = None
                 task()
-            except BaseException as error:  # noqa: BLE001 - tasks own their errors
+            except Exception as error:  # tasks own their errors
                 self.task_errors.append(error)
                 del self.task_errors[: -self.MAX_TASK_ERRORS]
 
+    def _revive(self, shard: int) -> None:
+        with self._lock:
+            self.worker_restarts += 1
+            task = self._current[shard]
+            self._current[shard] = None
+            if task is not None:
+                self._queues[shard].put_front(task)
+                self.requeued_tasks += 1
+            thread = self._spawn(shard, generation=self.worker_restarts)
+            # start before publishing: close() joins whatever _threads holds,
+            # and joining a never-started thread raises
+            thread.start()
+            self._threads[shard] = thread
+
     def close(self, *, wait: bool = True) -> None:
-        """Stop accepting work; with ``wait``, drain queues and join workers."""
+        """Stop accepting work; with ``wait``, drain queues and join workers.
+
+        The join tolerates supervision: if a worker dies (and is replaced)
+        while draining its remaining queue, the replacement is joined too —
+        ``_STOP`` is re-consumed by whichever incarnation reaches it.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -147,8 +341,14 @@ class ShardedWorkerPool:
             for task_queue in self._queues:
                 task_queue.put(_STOP)
         if wait:
-            for thread in self._threads:
-                thread.join()
+            for shard in range(self.workers):
+                while True:
+                    with self._lock:
+                        thread = self._threads[shard]
+                    thread.join()
+                    with self._lock:
+                        if self._threads[shard] is thread:
+                            break
 
     def __enter__(self) -> "ShardedWorkerPool":
         return self

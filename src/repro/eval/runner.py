@@ -41,8 +41,9 @@ from repro.core import FetchDetector, FetchOptions
 from repro.core.context import AnalysisContext
 from repro.core.fde_source import extract_fde_starts, fde_symbol_coverage
 from repro.core.registry import detectors as registered_detectors
-from repro.eval.executor import parallel_map
+from repro.eval.executor import FAULT_EPOCH_VAR, parallel_map
 from repro.eval.metrics import BinaryMetrics, CorpusMetrics, compute_metrics
+from repro.resilience import faults
 from repro.store import ArtifactStore, options_digest
 from repro.synth.compiler import SyntheticBinary
 from repro.synth.profiles import WildProfile
@@ -80,6 +81,16 @@ def _process_invoke(payload: tuple[Callable[..., Any], int, tuple]) -> tuple[Any
     """
     fn, index, fn_args = payload
     assert _WORKER_CORPUS is not None, "process pool initializer did not run"
+    # ``pool.child`` fault site: a ``kill`` here SIGKILLs this worker, which
+    # the parent observes as BrokenProcessPool and survives by respawning
+    # (see parallel_map).  The key folds in the respawn epoch so the next
+    # pool generation re-rolls instead of re-killing the same item forever.
+    try:
+        faults.fire(
+            "pool.child", f"{index}e{os.environ.get(FAULT_EPOCH_VAR, '0')}"
+        )
+    except faults.WorkerKilled:
+        os.kill(os.getpid(), 9)
     binary = _WORKER_CORPUS[index]
     context = _WORKER_CONTEXTS.get(index)
     if context is None:
@@ -288,7 +299,11 @@ class CorpusEvaluator:
                 (fn, self._corpus_index[id(binary)], fn_args) for binary in binaries
             ]
             wrapped = parallel_map(
-                _process_invoke, payloads, workers=self.workers, pool=self._process_pool()
+                _process_invoke,
+                payloads,
+                workers=self.workers,
+                pool=self._process_pool(),
+                pool_factory=self._respawn_pool,
             )
             values = []
             for value, decode_delta in wrapped:
@@ -332,6 +347,16 @@ class CorpusEvaluator:
                 initargs=(self.corpus,),
             )
         return self._pool
+
+    def _respawn_pool(self) -> ProcessPoolExecutor:
+        """Replace a broken persistent pool (``parallel_map``'s respawn hook).
+
+        The broken executor was already shut down by the caller; dropping
+        the reference makes :meth:`_process_pool` build a fresh one, which
+        also becomes the evaluator's pool for subsequent calls.
+        """
+        self._pool = None
+        return self._process_pool()
 
     def run_detector(
         self,

@@ -43,6 +43,14 @@ from repro.core.registry import create_detectors
 from repro.elf.image import BinaryImage
 from repro.eval.executor import ShardedWorkerPool
 from repro.eval.metrics import BinaryMetrics, compute_metrics
+from repro.resilience import faults
+from repro.resilience.policy import (
+    CircuitBreaker,
+    CircuitOpen,
+    ResilienceConfig,
+    call_with_timeout,
+    failure_record,
+)
 from repro.store import ArtifactStore, blob_digest, digest_of_binary, options_digest
 
 
@@ -71,11 +79,16 @@ class ServiceConfig:
     ``"block"`` admits entries one at a time as workers free capacity (the
     submitter waits), ``"reject"`` refuses the whole batch atomically with
     :class:`ServiceSaturated` — nothing is partially enqueued.
+
+    ``resilience`` bundles the failure-handling knobs (detector retries and
+    timeout, store-operation retries, per-detector circuit breakers); the
+    default keeps retries on and breakers/timeouts off.
     """
 
     workers: int = 2
     queue_limit: int = 256
     backpressure: str = "block"  # or "reject"
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.backpressure not in ("block", "reject"):
@@ -98,6 +111,9 @@ class EntryResult:
     metrics: BinaryMetrics | None = None
     #: ``None`` on success; a one-line ``Type: message`` rendering otherwise
     error: str | None = None
+    #: structured degradation record (site, kind, attempts, …) when the
+    #: unit failed — or when it *succeeded* but a store operation degraded
+    failure: dict[str, Any] | None = None
     seconds: float = 0.0
 
     @property
@@ -157,18 +173,23 @@ class JobHandle:
 
         Safe to call while workers are still running — the iterator blocks
         until the next result lands — and safe to call again afterwards (it
-        replays the completed results).  ``timeout`` bounds each individual
-        wait and raises ``TimeoutError`` when exceeded.
+        replays the completed results).  ``timeout`` bounds the wait for
+        each *next result* and raises ``TimeoutError`` when exceeded; the
+        bound is a monotonic deadline, so spurious or unrelated condition
+        wakeups spend the budget instead of restarting it.
         """
         index = 0
         while True:
+            deadline = None if timeout is None else time.monotonic() + timeout
             with self._cond:
                 while index >= len(self._completed) and index < self.total:
-                    if not self._cond.wait(timeout):
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
                         raise TimeoutError(
                             f"job {self.job_id}: no result within {timeout}s "
                             f"({index}/{self.total} complete)"
                         )
+                    self._cond.wait(remaining)
                 if index >= self.total:
                     return
                 result = self._completed[index]
@@ -244,16 +265,29 @@ class DetectionService:
         store: ArtifactStore | None = None,
         job_history: int = 128,
         config: ServiceConfig | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         self.config = config or ServiceConfig(
-            workers=workers, queue_limit=queue_limit, backpressure=backpressure
+            workers=workers,
+            queue_limit=queue_limit,
+            backpressure=backpressure,
+            resilience=resilience or ResilienceConfig(),
         )
+        self.resilience = self.config.resilience
         self.store = store
         self.job_history = max(1, int(job_history))
         #: detector invocations actually performed (cache hits excluded)
         self.detector_runs = 0
         #: units served from the store or the in-memory memo
         self.cache_hits = 0
+        #: detector invocations retried after a transient failure
+        self.detector_retries = 0
+        #: store reads/writes retried after a transient failure
+        self.store_retries = 0
+        #: units that failed after the policy gave up (structured ``failure``)
+        self.degraded_units = 0
+        #: successful units whose store write/read degraded (result unharmed)
+        self.store_degraded = 0
         #: jobs ever submitted (the _jobs dict itself is bounded)
         self.jobs_submitted = 0
         self._jobs: OrderedDict[int, JobHandle] = OrderedDict()
@@ -264,6 +298,9 @@ class DetectionService:
         self._admission = threading.Condition(self._lock)
         self._memo: OrderedDict[tuple[str, str, str], tuple[int, ...]] = OrderedDict()
         self._stats_baseline = store.stats_snapshot() if store is not None else {}
+        self._detect_policy = self.resilience.detect_policy()
+        self._store_policy = self.resilience.store_policy()
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._pool = ShardedWorkerPool(self.config.workers, name="detect-worker")
 
     # -- lifecycle ------------------------------------------------------
@@ -449,6 +486,8 @@ class DetectionService:
                         self._detect_unit(entry, detector, detector_name, result)
                 except Exception as error:  # noqa: BLE001 - entry-scoped failure
                     result.error = f"{type(error).__name__}: {error}"
+                    if result.failure is None:
+                        result.failure = failure_record(error, site="entry")
                 result.seconds = time.perf_counter() - started
                 job._complete(result)
         finally:
@@ -457,43 +496,115 @@ class DetectionService:
                 self._pending_entries -= 1
                 self._admission.notify_all()
 
+    def _breaker_for(self, detector_name: str) -> CircuitBreaker | None:
+        if self.resilience.breaker_threshold <= 0:
+            return None
+        with self._lock:
+            breaker = self._breakers.get(detector_name)
+            if breaker is None:
+                breaker = self.resilience.breaker()
+                self._breakers[detector_name] = breaker
+            return breaker
+
+    def _count_retry(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
     def _detect_unit(
         self, entry: _Entry, detector: Any, detector_name: str, result: EntryResult
     ) -> None:
+        """One (binary × detector) unit, under the resilience policies.
+
+        Failure handling is layered: the ``detect`` fault site and real
+        detector errors go through :class:`RetryPolicy` (transient errors
+        retry with backoff); a per-unit ``detector_timeout`` turns a wedged
+        detector into a degraded unit; a per-detector circuit breaker fails
+        repeat offenders fast.  A unit that exhausts its policy fails *only
+        itself*, with a structured ``failure`` record.  Store reads/writes
+        have their own retry budget and **degrade without failing the
+        unit**: a detection that cannot be persisted is still a success.
+        """
         opts = options_digest(detector)
         memo_key = (entry.digest, detector_name, opts)
         starts = self._cached_starts(memo_key, result)
         if starts is None:
+            breaker = self._breaker_for(detector_name)
+            if breaker is not None and not breaker.allow():
+                error = CircuitOpen(
+                    f"detector {detector_name!r} circuit open "
+                    f"(state={breaker.state}, trips={breaker.trips})"
+                )
+                result.error = f"{type(error).__name__}: {error}"
+                result.failure = failure_record(error, site="breaker", attempts=0)
+                with self._lock:
+                    self.degraded_units += 1
+                return
             if entry.image is None:
                 entry.image = BinaryImage.from_bytes(entry.data, name=entry.name)
             if entry.context is None:
                 entry.context = AnalysisContext(entry.image)
-            with self._lock:
-                self.detector_runs += 1
-            detection = detector.detect(entry.image, entry.context)
+            attempts = [0]
+
+            def invoke() -> Any:
+                attempts[0] += 1
+                with self._lock:
+                    self.detector_runs += 1
+                faults.fire("detect", f"{entry.digest}:{detector_name}")
+                return call_with_timeout(
+                    lambda: detector.detect(entry.image, entry.context),
+                    self.resilience.detector_timeout,
+                    label=f"{detector_name}({entry.name})",
+                )
+
+            try:
+                detection = self._detect_policy.run(
+                    invoke, on_retry=lambda n, e: self._count_retry("detector_retries")
+                )
+            except Exception as error:  # noqa: BLE001 - degrade this unit only
+                if breaker is not None:
+                    breaker.record_failure()
+                result.error = f"{type(error).__name__}: {error}"
+                result.failure = failure_record(
+                    error,
+                    site="detect",
+                    attempts=attempts[0],
+                    retryable=self._detect_policy.classify(error),
+                )
+                with self._lock:
+                    self.degraded_units += 1
+                return
+            if breaker is not None:
+                breaker.record_success()
             starts = tuple(sorted(detection.function_starts))
             self._memoize(memo_key, starts)
             if self.store is not None:
-                self.store.save_detection(
-                    self.store.detection_key(entry.digest, detector_name, opts),
-                    {
-                        "path": entry.name,
-                        "detector": detector_name,
-                        "function_starts": list(starts),
-                        "stages": {
-                            name: sorted(added)
-                            for name, added in detection.added_by_stage.items()
-                        },
-                        "removed_by_stage": {
-                            name: sorted(gone)
-                            for name, gone in detection.removed_by_stage.items()
-                        },
-                        "merged_parts": {
-                            str(part): parent
-                            for part, parent in detection.merged_parts.items()
-                        },
+                record = {
+                    "path": entry.name,
+                    "detector": detector_name,
+                    "function_starts": list(starts),
+                    "stages": {
+                        name: sorted(added)
+                        for name, added in detection.added_by_stage.items()
                     },
-                )
+                    "removed_by_stage": {
+                        name: sorted(gone)
+                        for name, gone in detection.removed_by_stage.items()
+                    },
+                    "merged_parts": {
+                        str(part): parent
+                        for part, parent in detection.merged_parts.items()
+                    },
+                }
+                key = self.store.detection_key(entry.digest, detector_name, opts)
+                try:
+                    self._store_policy.run(
+                        lambda: self.store.save_detection(key, record),
+                        on_retry=lambda n, e: self._count_retry("store_retries"),
+                    )
+                except Exception as error:  # noqa: BLE001 - persistence degrades
+                    result.failure = failure_record(error, site="store.save")
+                    with self._lock:
+                        self.store_degraded += 1
         result.function_starts = starts
         if entry.ground_truth is not None:
             result.metrics = compute_metrics(entry.ground_truth, set(starts))
@@ -509,16 +620,26 @@ class DetectionService:
     def _cached_starts(
         self, memo_key: tuple[str, str, str], result: EntryResult
     ) -> tuple[int, ...] | None:
-        """Dedupe before detecting: in-memory memo first, then the store."""
+        """Dedupe before detecting: in-memory memo first, then the store.
+
+        A store read that keeps failing degrades to a cache miss — the
+        detector re-runs rather than the unit failing on a lookup."""
         with self._lock:
             starts = self._memo.get(memo_key)
             if starts is not None:
                 self._memo.move_to_end(memo_key)
         if starts is None and self.store is not None:
             digest, detector_name, opts = memo_key
-            record = self.store.load_detection(
-                self.store.detection_key(digest, detector_name, opts)
-            )
+            key = self.store.detection_key(digest, detector_name, opts)
+            try:
+                record = self._store_policy.run(
+                    lambda: self.store.load_detection(key),
+                    on_retry=lambda n, e: self._count_retry("store_retries"),
+                )
+            except Exception:  # noqa: BLE001 - degrade to a miss
+                record = None
+                with self._lock:
+                    self.store_degraded += 1
             if record is not None:
                 starts = tuple(record["function_starts"])
                 self._memoize(memo_key, starts)
@@ -549,6 +670,19 @@ class DetectionService:
                 "pending_entries": self._pending_entries,
                 "detector_runs": self.detector_runs,
                 "cache_hits": self.cache_hits,
+                "resilience": {
+                    "detector_retries": self.detector_retries,
+                    "store_retries": self.store_retries,
+                    "degraded_units": self.degraded_units,
+                    "store_degraded": self.store_degraded,
+                    "worker_restarts": self._pool.worker_restarts,
+                    "requeued_tasks": self._pool.requeued_tasks,
+                    "breaker_trips": sum(b.trips for b in self._breakers.values()),
+                    "breakers": {
+                        name: breaker.state
+                        for name, breaker in self._breakers.items()
+                    },
+                },
             }
         if self.store is not None:
             record["store"] = self.store.stats_delta(self._stats_baseline)

@@ -38,6 +38,8 @@ import time
 from pathlib import Path
 from typing import Iterator
 
+from repro.resilience import faults
+
 #: Record namespaces of the store (blobs live in :data:`BLOB_NAMESPACE`).
 NAMESPACES = ("corpora", "results", "values", "matrix", "detections")
 BLOB_NAMESPACE = "objects"
@@ -79,7 +81,21 @@ def atomic_write_bytes(path: Path, data: bytes) -> None:
     temp write → ``fsync(file)`` → umask-honouring chmod → ``os.replace``
     → best-effort ``fsync(directory)``.  Readers observe the old content
     or the new content, never a torn file — even across a crash.
+
+    Fault site ``store.write``: a ``raise``/``delay`` fault fires before
+    anything is written (a clean transient I/O error); a ``torn`` fault
+    simulates a crash *mid-write* — a truncated ``.tmp-`` file is left on
+    disk (which readers never see: the rename never happened, and
+    ``iter_entries`` skips dot-files) and the write fails.
     """
+    try:
+        faults.fire("store.write", path.name)
+    except faults.TornWrite as torn:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temporary = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data[: len(data) // 2])
+        raise faults.FaultInjected(str(torn)) from torn
     path.parent.mkdir(parents=True, exist_ok=True)
     handle, temporary = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
     try:

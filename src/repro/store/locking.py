@@ -3,8 +3,9 @@
 A :class:`FileLock` serialises read-modify-write sections — index journal
 appends, journal compaction, garbage collection, layout migration, corpus
 build races — across every process sharing one store root.  The lock is an
-``O_CREAT | O_EXCL`` lock file holding the owner's pid and acquisition
-time, which gives three properties the store needs:
+``O_CREAT | O_EXCL`` lock file holding the owner's pid, its kernel start
+time (so a recycled pid cannot impersonate a dead holder) and the
+acquisition time, which gives three properties the store needs:
 
 * **timeout** — acquisition polls (with exponential backoff) for up to
   ``timeout`` seconds, then raises :class:`LockTimeout` instead of hanging
@@ -31,9 +32,32 @@ import threading
 import time
 from pathlib import Path
 
+from repro.resilience import faults
+
 
 class LockTimeout(TimeoutError):
-    """Raised when a :class:`FileLock` cannot be acquired within its timeout."""
+    """Raised when a :class:`FileLock` cannot be acquired within its timeout.
+
+    Subclasses :class:`TimeoutError`, which the default
+    :class:`repro.resilience.RetryPolicy` classifies as retryable — lock
+    contention is transient by construction."""
+
+
+def _process_start_ticks(pid: int) -> int | None:
+    """The kernel start time (clock ticks since boot) of ``pid``, or ``None``.
+
+    Field 22 of ``/proc/<pid>/stat``; together with the pid it uniquely
+    identifies a process incarnation, which is what lets the lock tell a
+    dead holder from a PID-reused impostor.  The comm field (2) may
+    contain spaces and parentheses, so parse from the *last* ``)``.
+    Returns ``None`` off Linux or when the process is gone.
+    """
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as stream:
+            stat = stream.read().decode("ascii", "replace")
+        return int(stat.rsplit(")", 1)[1].split()[19])
+    except (OSError, ValueError, IndexError):
+        return None
 
 
 class FileLock:
@@ -74,6 +98,7 @@ class FileLock:
         ``timeout`` seconds (counting both in-process queueing and
         cross-process polling).
         """
+        faults.fire("store.lock", self.path.name, raises=LockTimeout)
         start = time.monotonic()
         if not self._thread_lock.acquire(timeout=self.timeout):
             raise LockTimeout(
@@ -99,7 +124,12 @@ class FileLock:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 continue
             try:
-                os.write(handle, f"{os.getpid()} {time.time():.3f}\n".encode())
+                pid = os.getpid()
+                ticks = _process_start_ticks(pid)
+                os.write(
+                    handle,
+                    f"{pid} {ticks if ticks is not None else '-'} {time.time():.3f}\n".encode(),
+                )
             finally:
                 os.close(handle)
             self.last_wait = time.monotonic() - start
@@ -124,11 +154,14 @@ class FileLock:
     def _break_if_stale(self) -> None:
         """Unlink the lock file if its owner is provably gone or too old.
 
-        Two independent signals: a dead owner pid (same-host crash — the
-        common case) breaks immediately; an age beyond ``stale_after``
-        breaks regardless, covering foreign-host owners and wedged
-        processes.  Breaking races benignly: every breaker unlinks, then
-        every waiter re-races on ``O_EXCL`` and exactly one wins.
+        Three independent signals: a dead owner pid (same-host crash — the
+        common case) breaks immediately; a live pid whose kernel start
+        time differs from the one recorded at acquisition is a *PID-reused
+        impostor*, not the holder, and breaks immediately too; and an age
+        beyond ``stale_after`` breaks regardless, covering foreign-host
+        owners and wedged processes.  Breaking races benignly: every
+        breaker unlinks, then every waiter re-races on ``O_EXCL`` and
+        exactly one wins.
         """
         try:
             fields = self.path.read_text().split()
@@ -137,12 +170,21 @@ class FileLock:
             return  # vanished or unreadable: re-race on O_EXCL
         stale = False
         if fields and fields[0].isdigit():
+            pid = int(fields[0])
             try:
-                os.kill(int(fields[0]), 0)
+                os.kill(pid, 0)
             except ProcessLookupError:
                 stale = True
             except OSError:
                 pass  # alive, or not ours to probe
+            else:
+                # pid exists — but is it the same *incarnation* that took
+                # the lock?  (field 2 is "-" for pre-starttime lock files
+                # and off-Linux holders: no claim, skip the check)
+                if len(fields) >= 3 and fields[1].isdigit():
+                    current = _process_start_ticks(pid)
+                    if current is not None and current != int(fields[1]):
+                        stale = True
         if not stale and age <= self.stale_after:
             return
         try:

@@ -75,6 +75,95 @@ def test_bitflipped_eh_frame_never_hangs(rich_binary, position, value):
         assert fde.pc_range >= 0
 
 
+# ----------------------------------------------------------------------
+# Seeded malformed-.eh_frame fuzz corpus
+#
+# Builds well-formed sections with the repo's own encoder (varying pointer
+# encodings and FDE counts), then applies one seeded structural mutation.
+# The contract under test is the parser's error envelope: a corrupt section
+# either raises EhFrameParseError — never a raw struct.error / IndexError /
+# KeyError / UnicodeDecodeError — or parses into structurally sane records.
+# ----------------------------------------------------------------------
+
+def _build_fuzz_eh_frame(rng):
+    """A small, valid .eh_frame with rng-chosen encodings and FDE layout."""
+    from repro.dwarf import constants as D
+    from repro.dwarf.encoder import EhFrameBuilder
+
+    encodings = [
+        D.DW_EH_PE_pcrel | D.DW_EH_PE_sdata4,
+        D.DW_EH_PE_udata4,
+        D.DW_EH_PE_absptr,
+        D.DW_EH_PE_pcrel | D.DW_EH_PE_sdata8,
+        D.DW_EH_PE_udata8,
+    ]
+    section_address = 0x500000
+    builder = EhFrameBuilder()
+    cie = builder.add_cie(fde_pointer_encoding=rng.choice(encodings))
+    base = 0x401000
+    for _ in range(rng.randint(1, 5)):
+        size = rng.randint(0x10, 0x400)
+        builder.add_fde(cie, base, size)
+        base += size + rng.randint(0, 0x40)
+    return builder.build(section_address), section_address
+
+
+def _mutate(data: bytearray, rng) -> None:
+    """Apply one seeded structural corruption in place."""
+    kind = rng.randrange(6)
+    if kind == 0:  # single byte flip
+        position = rng.randrange(len(data))
+        data[position] ^= 1 << rng.randrange(8)
+    elif kind == 1:  # entry length field lies
+        offset = rng.choice([0, 4]) if len(data) > 8 else 0
+        struct.pack_into("<I", data, offset, rng.choice([3, 0xFFF0, 0x7FFFFFFF]))
+    elif kind == 2:  # pointer-encoding byte becomes something exotic
+        position = rng.randrange(min(len(data), 24))
+        data[position] = rng.choice([0x5E, 0x80, 0xF0, 0x0D, 0x9B])
+    elif kind == 3:  # unterminated LEB128 run
+        position = rng.randrange(len(data))
+        run = b"\x80" * rng.randint(2, 12)
+        data[position : position + len(run)] = run
+    elif kind == 4:  # truncation
+        del data[rng.randrange(4, max(5, len(data))) :]
+    else:  # corrupt the CIE augmentation region (around the "zR" string)
+        position = 9 + rng.randrange(8)
+        if position < len(data):
+            data[position] = rng.randrange(256)
+
+
+@pytest.mark.parametrize("seed", range(70))
+def test_fuzzed_eh_frame_fails_only_with_parse_errors(seed):
+    import random
+
+    rng = random.Random(seed)
+    data, section_address = _build_fuzz_eh_frame(rng)
+    corrupted = bytearray(data)
+    _mutate(corrupted, rng)
+    try:
+        _, fdes = parse_eh_frame(bytes(corrupted), section_address)
+    except EhFrameParseError:
+        return  # the typed envelope — exactly what callers are promised
+    # Anything *else* escaping (struct.error, IndexError, KeyError, ...)
+    # fails this test: pytest reports it as an error, which is the point.
+    for fde in fdes:
+        assert fde.pc_range >= 0
+        assert fde.pc_begin >= 0
+        assert fde.cie is not None
+
+
+def test_fuzz_corpus_baseline_is_valid():
+    """The un-mutated generator output must parse cleanly for every seed —
+    otherwise the fuzz corpus exercises the builder, not the mutations."""
+    import random
+
+    for seed in range(70):
+        rng = random.Random(seed)
+        data, section_address = _build_fuzz_eh_frame(rng)
+        cies, fdes = parse_eh_frame(data, section_address)
+        assert cies and fdes
+
+
 def test_detector_on_binary_without_eh_frame_falls_back_to_entry():
     text = Section(
         name=".text",

@@ -369,6 +369,38 @@ class TestShardedWorkerPool:
             pool.submit(0, lambda: None)
 
 
+class TestJobHandleTimeout:
+    def test_results_timeout_is_a_monotonic_deadline(self):
+        """Spurious condition wakeups must not restart the timeout clock.
+
+        Regression: the wait loop used to re-wait the *full* timeout after
+        every notification, so a handle poked often enough (progress on
+        other jobs sharing the condition) never timed out at all.
+        """
+        from repro.service.service import JobHandle
+
+        handle = JobHandle(1, total=1)  # no results ever arrive
+        stop = threading.Event()
+
+        def nuisance_notifier():
+            while not stop.is_set():
+                with handle._cond:
+                    handle._cond.notify_all()
+                time.sleep(0.05)
+
+        noise = threading.Thread(target=nuisance_notifier, daemon=True)
+        noise.start()
+        try:
+            start = time.monotonic()
+            with pytest.raises(TimeoutError):
+                list(handle.results(timeout=0.4))
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            noise.join(timeout=5)
+        assert 0.4 <= elapsed < 2.0
+
+
 class TestCreateDetectors:
     def test_default_is_fetch(self):
         detectors = create_detectors(None)

@@ -472,6 +472,58 @@ class TestFileLock:
         assert lock.acquire() < 5.0
         lock.release()
 
+    def test_pid_reused_impostor_lock_is_broken(self, tmp_path):
+        """A lock whose pid is alive but belongs to a *different* process
+        start (crash + pid reuse) must be reclaimed, not waited out."""
+        from repro.store.locking import _process_start_ticks
+
+        ticks = _process_start_ticks(os.getpid())
+        if ticks is None:
+            pytest.skip("/proc/<pid>/stat start ticks unavailable on this platform")
+        path = tmp_path / "impostor.lock"
+        # our own (live) pid, but with start ticks that cannot match it
+        path.write_text(f"{os.getpid()} {ticks + 999_999} {time.time():.3f}\n")
+        lock = FileLock(path, timeout=5.0, stale_after=3600.0)
+        assert lock.acquire() < 5.0, "impostor lock must be broken immediately"
+        lock.release()
+
+    def test_live_holder_with_matching_ticks_is_respected(self, tmp_path):
+        from repro.store.locking import _process_start_ticks
+
+        ticks = _process_start_ticks(os.getpid())
+        if ticks is None:
+            pytest.skip("/proc/<pid>/stat start ticks unavailable on this platform")
+        path = tmp_path / "live.lock"
+        path.write_text(f"{os.getpid()} {ticks} {time.time():.3f}\n")
+        waiter = FileLock(path, timeout=0.1, stale_after=3600.0)
+        with pytest.raises(LockTimeout):
+            waiter.acquire()
+
+    def test_old_two_field_lock_format_with_live_pid_is_respected(self, tmp_path):
+        # locks written before start-ticks were recorded must not be broken
+        # while their holder is alive
+        path = tmp_path / "legacy.lock"
+        path.write_text(f"{os.getpid()} {time.time():.3f}\n")
+        waiter = FileLock(path, timeout=0.1, stale_after=3600.0)
+        with pytest.raises(LockTimeout):
+            waiter.acquire()
+
+    def test_lock_timeout_is_classified_retryable(self, tmp_path):
+        from repro.resilience.policy import RetryPolicy
+
+        path = tmp_path / "busy.lock"
+        holder = FileLock(path)
+        holder.acquire()
+        try:
+            waiter = FileLock(path, timeout=0.05, stale_after=3600.0)
+            with pytest.raises(LockTimeout) as info:
+                waiter.acquire()
+        finally:
+            holder.release()
+        assert RetryPolicy().classify(info.value), (
+            "LockTimeout must be retryable so store policies re-attempt it"
+        )
+
     def test_acquire_reports_wait_and_store_records_it(self, store):
         with store._locked():
             pass
