@@ -38,21 +38,22 @@ COLD_SCALE = 1.0
 COLD_SEED = 2021
 TOP_BINARIES = 4
 ITERATIONS = 7
-GATE_TOLERANCE = 0.20
+GATE_TOLERANCE = 0.15
 
 #: Pre-rewrite reference, measured at the seed commit (6b8b503) with this
-#: exact protocol: same machine/day as the committed post numbers, three
-#: interleaved pre/post rounds, best iteration across rounds.  Kept here so
-#: the achieved speedup is part of the record even after the pre-PR code is
-#: gone.
+#: exact protocol: same machine/day as the committed post numbers, six
+#: order-rotated interleaved rounds (pre-PR-5 / pre-PR-9 / current rotating
+#: first position each round), best iteration across rounds.  The decode
+#: counts are deterministic facts of the seed-commit code.  Kept here so the
+#: achieved speedup is part of the record even after the pre-PR code is gone.
 PRE_PR_BASELINE = {
-    "mysqld-like-0:clang:O3": {"cold_seconds": 0.124165, "cold_units": 0.709,
+    "mysqld-like-0:clang:O3": {"cold_seconds": 0.120710, "cold_units": 0.706,
                                "raw_decodes": 6740},
-    "binutils-like-0:clang:Ofast": {"cold_seconds": 0.109053, "cold_units": 0.602,
+    "binutils-like-0:clang:Ofast": {"cold_seconds": 0.111620, "cold_units": 0.653,
                                     "raw_decodes": 6195},
-    "mysqld-like-0:gcc:Os": {"cold_seconds": 0.104239, "cold_units": 0.575,
+    "mysqld-like-0:gcc:Os": {"cold_seconds": 0.107750, "cold_units": 0.630,
                              "raw_decodes": 6163},
-    "mysqld-like-0:gcc:O2": {"cold_seconds": 0.103295, "cold_units": 0.570,
+    "mysqld-like-0:gcc:O2": {"cold_seconds": 0.108280, "cold_units": 0.633,
                              "raw_decodes": 5997},
 }
 
@@ -197,6 +198,6 @@ def test_cold_latency(artifact_store, report_writer):
     report_writer("cold_latency", _render(record))
 
     # Sanity floor on the rewrite itself: the cold path must stay well ahead
-    # of the pre-PR baseline (measured ~3.1-3.4x; 2x leaves noise headroom).
+    # of the pre-PR baseline (measured ~3.0-3.3x; 2x leaves noise headroom).
     for name, speedup in record["speedup_units"].items():
         assert speedup >= 2.0, f"{name}: cold speedup fell to {speedup}x vs pre-PR"

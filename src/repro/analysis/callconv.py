@@ -65,6 +65,23 @@ def satisfies_calling_convention(
     return check_entry_convention(image, address, max_instructions=max_instructions)
 
 
+def adjusted_entry_masks(insn: Instruction) -> int:
+    """:func:`entry_masks` with the walk's push adjustment applied statically.
+
+    Returns ``(reads << 16) | writes`` where the read of a ``push``'d
+    register has been removed — saving a register is not a use of its value.
+    The walk only applies the adjustment after spotting a violation, but the
+    outcome is the same either way (the adjusted set is a subset), which
+    lets span summaries precompute one mask per instruction.
+    """
+    masks = entry_masks(insn)
+    if insn.mnemonic == "push" and insn.operands:
+        for operand in insn.operands:
+            if operand.__class__ is Register:
+                masks &= ~(1 << (operand.number + 16))
+    return masks
+
+
 def check_entry_convention(
     image: BinaryImage,
     address: int,
@@ -89,6 +106,28 @@ def check_entry_convention(
             except DecodeError:
                 return None
 
+    cache_get = cache.get if cache is not None else None
+    return _convention_walk(
+        decode, cache_get, address, _ENTRY_INITIALIZED_MASK, max_instructions, set()
+    )
+
+
+def _convention_walk(
+    decode: Callable[[int], Instruction | None],
+    cache_get,
+    address: int,
+    initialized: int,
+    max_instructions: int,
+    jump_targets: set[int],
+) -> bool:
+    """The per-instruction convention walk from an arbitrary mid-walk state.
+
+    This is the reference implementation of the §IV-E check;
+    :meth:`repro.core.context.AnalysisContext.calling_convention_ok` runs an
+    equivalent span-summary walk and falls back to this one (with the
+    accumulated ``initialized``/budget/``jump_targets`` state) whenever a
+    jump leaves the span-aligned fast path.
+    """
     # ``initialized`` always contains RSP/RBP, so the violation test reduces
     # to a plain subset check over the read-set; both sets are tracked as bit
     # masks keyed by register encoding number.  Cycles require at least one
@@ -96,10 +135,7 @@ def check_entry_convention(
     # so loop detection only has to remember jump targets — and a re-walked
     # instruction can never produce a new violation because ``initialized``
     # only grows, so detecting the cycle one lap late keeps the verdict.
-    initialized = _ENTRY_INITIALIZED_MASK
-    jump_targets: set[int] = set()
     current = address
-    cache_get = cache.get if cache is not None else None
 
     for _ in range(max_instructions):
         if cache_get is not None:

@@ -28,8 +28,15 @@ def count_rop_gadgets(
     *,
     window: int = _MAX_WINDOW,
     context: "AnalysisContext | None" = None,
+    cache: "dict[int, object] | None" = None,
 ) -> int:
-    """Count ROP gadgets in the code window starting at ``address``."""
+    """Count ROP gadgets in the code window starting at ``address``.
+
+    ``cache`` is a shared decode memo (``address -> Instruction | None``);
+    gadget scans probe many misaligned suffixes, and the decode of any
+    address is a pure function of the image bytes, so sharing the context's
+    cache is safe and lets overlapping windows reuse each other's decodes.
+    """
     if context is not None:
         return context.gadget_count(address, window=window)
     section = image.section_containing(address)
@@ -45,7 +52,7 @@ def count_rop_gadgets(
 
     gadgets = 0
     for start in range(begin, ret_offset + 1):
-        if _decodes_to_ret(data, start, ret_offset, section.address):
+        if _decodes_to_ret(data, start, ret_offset, section.address, cache):
             gadgets += 1
     return gadgets
 
@@ -60,7 +67,9 @@ def count_gadgets_at_starts(
     return sum(count_rop_gadgets(image, address, context=context) for address in addresses)
 
 
-def _decodes_to_ret(data: bytes, start: int, ret_offset: int, base: int) -> bool:
+def _decodes_to_ret(
+    data: bytes, start: int, ret_offset: int, base: int, cache=None
+) -> bool:
     offset = start
     for _ in range(_MAX_GADGET_INSTRUCTIONS):
         if offset == ret_offset:
@@ -68,7 +77,7 @@ def _decodes_to_ret(data: bytes, start: int, ret_offset: int, base: int) -> bool
         if offset > ret_offset:
             return False
         try:
-            insn = decode_instruction(data, offset, base + offset)
+            insn = decode_instruction(data, offset, base + offset, cache)
         except DecodeError:
             return False
         if insn.is_ret or insn.is_branch:

@@ -174,6 +174,266 @@ class RecursiveDisassembler:
             return function
         self._in_progress.add(start)
 
+        context = self.context
+        if context is not None and context._span_index is not None:
+            saw_ret, saw_escape, tainted = self._explore_spans(function)
+        else:
+            saw_ret, saw_escape, tainted = self._explore_linear(function)
+
+        self._in_progress.discard(start)
+        # A function is non-returning when no reachable path ends in `ret` and
+        # no unresolved construct could hide a return.
+        tail_jumps_out = any(
+            j.is_unconditional_jump
+            and j.branch_target is not None
+            and j.branch_target not in function.instructions
+            for j in function.jumps
+        )
+        noreturn = not saw_ret and not saw_escape and not tail_jumps_out and bool(
+            function.instructions
+        )
+        self._noreturn[start] = noreturn
+        if tainted:
+            self._tainted.add(start)
+        elif self._shared_functions is not None and start not in self._shared_functions:
+            self._shared_functions[start] = function
+            self._shared_noreturn[start] = noreturn
+        return function
+
+    def _explore_spans(self, function: DisassembledFunction) -> tuple[bool, bool, bool]:
+        """Span-at-a-time traversal, byte-identical to :meth:`_explore_linear`.
+
+        Spans end at the first call or terminator, so interior instructions
+        carry at most conditional jumps and a whole unvisited span can be
+        consumed with one ``dict.update`` (its conditional-jump worklist
+        entries and code constants come precomputed off the span).  Within a
+        function, the visited subset of a span is always an address *suffix*
+        — every walk entering a span runs to its end unless it hits an
+        already-visited instruction, which ends a suffix — so "span start
+        unvisited and span end unvisited" proves the whole span is fresh and
+        the bulk path applies.  Anything else (a jump into the middle of a
+        span, a partially-visited span) takes the per-instruction slow path
+        below, which matches the linear loop statement for statement.
+
+        Queueing a conditional-jump target after the bulk update instead of
+        mid-walk is observationally equivalent: the only extra addresses in
+        ``instructions`` at queue time are later instructions of the same
+        span, and the linear loop queues such forward targets only to pop
+        them into an immediate already-visited break.
+
+        Code constants are fused into the traversal (``function.
+        _code_constants``) so the lazy property never re-walks instructions.
+
+        Path snapshots for queued conditional-jump targets are captured
+        lazily as ``(base_path, span_insns, position)`` and materialized
+        only when the target is popped still-unvisited — most queued targets
+        are consumed by fall-through first, and their snapshot lists were
+        pure allocation churn.  A captured base list is never mutated
+        afterwards: every continuing bulk branch *rebinds* ``path`` before
+        the walk can reach the (mutating) per-instruction slow path.
+        """
+        context = self.context
+        index_get = context._span_index.get
+        build_span = context._build_span
+        cache = context.decode_cache
+        cache_get = cache.get
+        image = self.image
+        is_code = self._is_code
+        instructions = function.instructions
+        jumps_append = function.jumps.append
+        call_targets_add = function.call_targets.add
+        call_sites_append = function.call_sites.append
+        constants: set[int] = set()
+        start = function.start
+        worklist = [start]
+        path_cache: dict[int, object] = {start: []}
+        saw_ret = False
+        saw_escape = False
+        tainted = False
+
+        while worklist and len(instructions) < _MAX_FUNCTION_INSTRUCTIONS:
+            address = worklist.pop()
+            snapshot = path_cache.pop(address, None)
+            if address in instructions:
+                # The linear loop would pop, then break immediately; skipping
+                # the snapshot materialization changes nothing observable.
+                continue
+            if snapshot is None:
+                path = []
+            elif snapshot.__class__ is tuple:
+                base, base_insns, j = snapshot
+                path = (base + base_insns[: j + 1])[-_PATH_KEEP:]
+            else:
+                path = snapshot
+            while address is not None:
+                if address in instructions:
+                    break
+                span = index_get(address)
+                if span is None:
+                    insn = cache_get(address, _UNCACHED)
+                    if insn is _UNCACHED:
+                        cache.misses += 1
+                        span = build_span(address)
+                        if span is None:
+                            # Non-code or undecodable first byte.
+                            function.had_decode_error = True
+                            break
+                    elif insn is None:
+                        # Remembered decode failure.
+                        cache.hits += 1
+                        function.had_decode_error = True
+                        break
+                    else:
+                        # Decoded but not a span start (a jump into the
+                        # middle of a span): single instruction, linear
+                        # semantics, straight off the decode cache.
+                        cache.hits += 1
+                else:
+                    cache.hits += 1
+                if span is not None and span.last_addr not in instructions:
+                    # Bulk fast path: consume the whole span at C speed.
+                    insns = span.insns
+                    instructions.update(span.map)
+                    constants |= span.constants
+                    for j, insn in span.cond_jumps:
+                        jumps_append(insn)
+                        target = insn.branch_target
+                        if target is not None and is_code(target):
+                            if target not in instructions and target not in path_cache:
+                                worklist.append(target)
+                                path_cache[target] = (path, insns, j)
+                    last = insns[-1]
+                    flags = last._flags
+                    if flags & _F_CONTROL:
+                        if flags & _F_RET:
+                            saw_ret = True
+                            break
+                        if flags & _F_CALL:
+                            target = last.branch_target
+                            if target is not None:
+                                call_targets_add(target)
+                                call_sites_append((target, last.address))
+                                returns, assumption = self._call_returns_tracked(target)
+                                tainted |= assumption
+                                if not returns:
+                                    break
+                            # Direct returning call or skipped indirect call:
+                            # fall through.
+                            path = (path + insns)[-_PATH_KEEP:]
+                            address = last.end
+                            continue
+                        if flags & _F_COND_JUMP:
+                            # Already queued above (budget-truncated span);
+                            # fall through.
+                            path = (path + insns)[-_PATH_KEEP:]
+                            address = last.end
+                            continue
+                        if flags & _F_UNCOND_JUMP:
+                            jumps_append(last)
+                            target = last.branch_target
+                            path = (path + insns)[-_PATH_KEEP:]
+                            if target is not None:
+                                if is_code(target):
+                                    address = target
+                                    continue
+                                break
+                            targets = resolve_jump_table(image, path[:-1], last)
+                            if targets:
+                                for table_target in targets:
+                                    if (
+                                        table_target not in instructions
+                                        and table_target not in path_cache
+                                    ):
+                                        worklist.append(table_target)
+                                        path_cache[table_target] = []
+                            else:
+                                saw_escape = True
+                            break
+                        # Remaining terminators (ud2 / hlt) end the path.
+                        break
+                    if span.failed:
+                        # Span ended on undecodable bytes right after ``last``.
+                        function.had_decode_error = True
+                        break
+                    # Span truncated by the decode budget: continue into the
+                    # next span.
+                    path = (path + insns)[-_PATH_KEEP:]
+                    address = last.end
+                    continue
+
+                # Slow path (jump into the middle of a span, or the span is
+                # partially visited): single instruction, linear semantics.
+                if span is not None:
+                    insn = span.insns[0]
+                instructions[address] = insn
+                path.append(insn)
+                if len(path) >= _PATH_TRIM_AT:
+                    del path[:-_PATH_KEEP]
+
+                flags = insn._flags
+                c = insn._consts
+                if c is not None:
+                    if c.__class__ is int:
+                        constants.add(c)
+                    else:
+                        constants.update(c)
+
+                if flags & _F_CONTROL:
+                    if flags & _F_RET:
+                        saw_ret = True
+                        break
+                    if flags & _F_CALL:
+                        target = insn.branch_target
+                        if target is not None:
+                            call_targets_add(target)
+                            call_sites_append((target, insn.address))
+                            returns, assumption = self._call_returns_tracked(target)
+                            tainted |= assumption
+                            if returns:
+                                address = insn.end
+                                continue
+                            break
+                        address = insn.end
+                        continue
+                    if flags & _F_COND_JUMP:
+                        jumps_append(insn)
+                        target = insn.branch_target
+                        if target is not None and is_code(target):
+                            if target not in instructions and target not in path_cache:
+                                worklist.append(target)
+                                path_cache[target] = list(path)
+                        address = insn.end
+                        continue
+                    if flags & _F_UNCOND_JUMP:
+                        jumps_append(insn)
+                        target = insn.branch_target
+                        if target is not None:
+                            if is_code(target):
+                                address = target
+                                continue
+                            break
+                        targets = resolve_jump_table(image, path[:-1], insn)
+                        if targets:
+                            for table_target in targets:
+                                if (
+                                    table_target not in instructions
+                                    and table_target not in path_cache
+                                ):
+                                    worklist.append(table_target)
+                                    path_cache[table_target] = []
+                        else:
+                            saw_escape = True
+                        break
+                    break
+                address = insn.end
+
+        function._code_constants = constants
+        return saw_ret, saw_escape, tainted
+
+    def _explore_linear(self, function: DisassembledFunction) -> tuple[bool, bool, bool]:
+        """The reference per-instruction traversal (``REPRO_SPAN_CACHE=0``
+        or context-free operation)."""
+        start = function.start
         worklist = [start]
         path_cache: dict[int, list[Instruction]] = {start: []}
         saw_ret = False
@@ -209,6 +469,7 @@ class RecursiveDisassembler:
                         target = insn.branch_target
                         if target is not None:
                             function.call_targets.add(target)
+                            function.call_sites.append((target, insn.address))
                             returns, assumption = self._call_returns_tracked(target)
                             tainted |= assumption
                             if returns:
@@ -252,25 +513,7 @@ class RecursiveDisassembler:
                 # Ordinary instruction: fall through.
                 address = insn.end
 
-        self._in_progress.discard(start)
-        # A function is non-returning when no reachable path ends in `ret` and
-        # no unresolved construct could hide a return.
-        tail_jumps_out = any(
-            j.is_unconditional_jump
-            and j.branch_target is not None
-            and j.branch_target not in function.instructions
-            for j in function.jumps
-        )
-        noreturn = not saw_ret and not saw_escape and not tail_jumps_out and bool(
-            function.instructions
-        )
-        self._noreturn[start] = noreturn
-        if tainted:
-            self._tainted.add(start)
-        elif self._shared_functions is not None and start not in self._shared_functions:
-            self._shared_functions[start] = function
-            self._shared_noreturn[start] = noreturn
-        return function
+        return saw_ret, saw_escape, tainted
 
     def _call_returns(self, target: int) -> bool:
         """Whether a call to ``target`` can fall through."""

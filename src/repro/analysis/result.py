@@ -4,8 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.x86.instruction import _F_BRANCH, Instruction
-from repro.x86.operands import Imm
+from repro.x86.instruction import Instruction
 
 
 @dataclass
@@ -22,6 +21,11 @@ class DisassembledFunction:
     call_targets: set[int] = field(default_factory=set)
     #: jump instructions (conditional or unconditional) inside this function
     jumps: list[Instruction] = field(default_factory=list)
+    #: ``(target, call-site address)`` for every direct call, recorded by the
+    #: traversal so reference collection never re-walks all instructions
+    call_sites: list[tuple[int, int]] = field(
+        default_factory=list, repr=False, compare=False
+    )
     #: whether exploration hit a decoding error
     had_decode_error: bool = False
     #: lazily-computed constants, see :attr:`code_constants`
@@ -42,14 +46,14 @@ class DisassembledFunction:
         if constants is None:
             constants = set()
             add = constants.add
+            update = constants.update
             for insn in self.instructions.values():
-                if not insn._flags & _F_BRANCH and insn.operands:
-                    for operand in insn.operands:
-                        if operand.__class__ is Imm and operand.size >= 4:
-                            add(operand.value)
-                rip_target = insn.rip_target
-                if rip_target is not None:
-                    add(rip_target)
+                c = insn._consts
+                if c is not None:
+                    if c.__class__ is int:
+                        add(c)
+                    else:
+                        update(c)
             self._code_constants = constants
         return constants
 

@@ -676,11 +676,20 @@ def build_profile_parser() -> argparse.ArgumentParser:
         default="cumulative",
         help="pstats sort order (default: cumulative)",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the top-N hotspots as a JSON record instead of the "
+             "pstats table (ncalls / tottime / cumtime per function)",
+    )
     return parser
 
 
 def profile_main(argv: list[str]) -> int:
-    from repro.eval.profiling import profile_cold_detection
+    from repro.eval.profiling import (
+        profile_cold_detection,
+        profile_cold_detection_record,
+    )
 
     parser = build_profile_parser()
     args = parser.parse_args(argv)
@@ -695,6 +704,16 @@ def profile_main(argv: list[str]) -> int:
         print(f"error: cannot load {args.binary}: {error}", file=sys.stderr)
         return 1
     try:
+        if args.json:
+            record = profile_cold_detection_record(
+                data,
+                name=args.binary,
+                detector=args.detector,
+                top=args.top,
+                sort=args.sort,
+            )
+            print(json.dumps(record, indent=2))
+            return 0
         report = profile_cold_detection(
             data,
             name=args.binary,

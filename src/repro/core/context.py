@@ -32,6 +32,7 @@ binary between workers.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -39,10 +40,108 @@ from repro.dwarf.cfa_table import CfaTable, build_cfa_table
 from repro.dwarf.structs import FdeRecord
 from repro.elf.image import BinaryImage
 from repro.x86.disassembler import decode_block
-from repro.x86.instruction import Instruction
+from repro.x86.instruction import (
+    _F_CALL,
+    _F_COND_JUMP,
+    _F_RET,
+    _F_TERMINATOR,
+    _F_UNCOND_JUMP,
+    Instruction,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.recursive import RecursiveDisassembler
+
+#: Span decode stops wherever the recursive traversal can break a
+#: fall-through run: terminators end a span, and so do calls (a noreturn
+#: callee stops the walk mid-stream).  Bounding spans this way is what makes
+#: the bulk span-at-a-time traversal byte-identical to the per-instruction
+#: loop: within a span, only conditional jumps need individual attention.
+_SPAN_STOP = _F_TERMINATOR | _F_CALL
+
+#: Default decode budget per span build; bounds the decode overshoot when a
+#: consumer abandons a span early (the calling-convention walk additionally
+#: caps builds by its remaining instruction budget).
+_SPAN_COUNT = 64
+
+#: Escape hatch: ``REPRO_SPAN_CACHE=0`` disables the decoded-span layer and
+#: routes every consumer through the per-address paths (used by the parity
+#: tests to prove byte-identical detector output).
+_SPANS_ENABLED = os.environ.get("REPRO_SPAN_CACHE", "1") != "0"
+
+#: Shared singletons for spans without conditional jumps / without constants
+#: (a large fraction of all spans) — read-only to every consumer.
+_NO_COND_JUMPS: tuple = ()
+_NO_CONSTANTS: frozenset[int] = frozenset()
+
+
+class DecodedSpan:
+    """One decoded fall-through run: a ``decode_block`` result plus the
+    per-instruction facts the analysis walks would otherwise recompute.
+
+    A span covers consecutive instructions up to (and including) the first
+    call or terminator, or up to the decode budget / first undecodable byte.
+    All bulk-consumption facts are produced by the single indexing pass of
+    :meth:`AnalysisContext._build_span` — ``map`` feeds ``dict.update``
+    during bulk traversal, ``cond_jumps`` lists the interior conditional
+    jumps (the only control flow a span can contain) as ``(position,
+    instruction)``, and ``constants`` applies exactly the rule of
+    :attr:`repro.analysis.result.DisassembledFunction.code_constants` to the
+    span's instructions.  Only :meth:`cc_summary` stays lazy: callconv facts
+    are needed for the fraction of spans that sit at checked entry points.
+    """
+
+    __slots__ = ("insns", "map", "cond_jumps", "constants", "last_addr", "failed", "cc")
+
+    def __init__(self, insns: list[Instruction], failed: bool):
+        self.insns = insns
+        self.failed = failed
+        self.last_addr = insns[-1].address
+        self.cc: tuple[list[int], int, int, int] | None = None
+
+    def cc_summary(self) -> tuple[list[int], int, int, int]:
+        """``(masked, need_total, writes_total, kind)`` for the §IV-E walk.
+
+        ``masked[k]`` is the k-th checked instruction's read-set minus
+        everything written earlier in the span (and minus ``push``'d
+        registers); an entry violates iff ``masked[k] & ~initialized``.
+        ``kind`` 0: the span terminal accepts the walk (ret/call/ud2/hlt —
+        its own reads are never checked), 1: ends in an unconditional jump
+        (checked, then followed), 2: plain truncation (walk continues at the
+        span end).
+        """
+        cc = self.cc
+        if cc is None:
+            from repro.analysis.callconv import _STOP_MNEMONICS, adjusted_entry_masks
+
+            insns = self.insns
+            last = insns[-1]
+            lflags = last._flags
+            if lflags & (_F_RET | _F_CALL) or (
+                lflags & _F_TERMINATOR
+                and not lflags & _F_UNCOND_JUMP
+                and last.mnemonic in _STOP_MNEMONICS
+            ):
+                kind = 0
+                checked = insns[:-1]
+            elif lflags & _F_UNCOND_JUMP:
+                kind = 1
+                checked = insns
+            else:
+                kind = 2
+                checked = insns
+            masked: list[int] = []
+            append = masked.append
+            written = 0
+            need_total = 0
+            for insn in checked:
+                masks = adjusted_entry_masks(insn)
+                need = (masks >> 16) & ~written
+                append(need)
+                need_total |= need
+                written |= masks & 0xFFFF
+            cc = self.cc = (masked, need_total, written, kind)
+        return cc
 
 
 class DecodeCache(dict):
@@ -74,6 +173,7 @@ class ContextStats:
     cached_cfa_tables: int = 0
     cached_callconv_checks: int = 0
     cached_noreturn_facts: int = 0
+    cached_spans: int = 0
 
     @property
     def decode_hit_ratio(self) -> float:
@@ -90,6 +190,7 @@ class ContextStats:
             "cached_cfa_tables": self.cached_cfa_tables,
             "cached_callconv_checks": self.cached_callconv_checks,
             "cached_noreturn_facts": self.cached_noreturn_facts,
+            "cached_spans": self.cached_spans,
         }
 
 
@@ -117,6 +218,17 @@ class AnalysisContext:
         self._last_exec_section = None
         self._last_exec_lo = 0
         self._last_exec_hi = 0
+        #: decoded-span index, keyed by span *start* address only.  ``None``
+        #: when ``REPRO_SPAN_CACHE=0`` disables the span layer.  Interior
+        #: span addresses need no index entries: every instruction of a
+        #: built span sits in :attr:`decode_cache`, so "decoded but not a
+        #: span start" is detected by a cache probe and handled by the
+        #: per-instruction paths — indexing all ~10 interior addresses of
+        #: every span cost more than it ever saved.
+        self._span_index: dict[int, DecodedSpan] | None = (
+            {} if _SPANS_ENABLED else None
+        )
+        self._span_builds = 0
 
     # ------------------------------------------------------------------
     # Instruction decoding
@@ -137,6 +249,13 @@ class AnalysisContext:
             cache.hits += 1
             return hit
         cache.misses += 1
+        if self._span_index is not None:
+            span = self._build_span(address)
+            if span is None:
+                # A decode failure was stored as ``None`` by decode_block;
+                # non-executable addresses were recorded by _build_span.
+                return cache.get(address)
+            return span.insns[0]
         # Code queries cluster heavily within one section, so remember the
         # last executable section before falling back to the binary search.
         section = self._last_exec_section
@@ -161,6 +280,82 @@ class AnalysisContext:
         )
         return cache[address]
 
+    def _build_span(self, address: int, count: int = _SPAN_COUNT) -> DecodedSpan | None:
+        """Decode a new span starting at ``address`` and index it.
+
+        Returns ``None`` when ``address`` is outside executable code (a
+        ``None`` decode verdict is then cached) or undecodable at the first
+        instruction (decode_block already cached the failure).
+        """
+        cache = self.decode_cache
+        section = self._last_exec_section
+        if section is None or not (self._last_exec_lo <= address < self._last_exec_hi):
+            section = self.image.section_containing(address)
+            if section is None or not section.is_executable:
+                cache.setdefault(address, None)
+                return None
+            self._last_exec_section = section
+            self._last_exec_lo = section.address
+            self._last_exec_hi = section.end_address
+        insns, failed = decode_block(
+            section.data,
+            address - section.address,
+            address,
+            count,
+            cache=cache,
+            stop_flags=_SPAN_STOP,
+        )
+        if not insns:
+            return None
+        span = DecodedSpan(insns, failed)
+        # One pass over the fresh instructions produces every
+        # bulk-consumption fact at once; a second walk per fact was a
+        # measurable share of span-build time.  The per-instruction constant
+        # contribution comes precomputed off ``Instruction._consts``, and the
+        # shared empty singletons avoid allocating a list and a set for the
+        # many spans that carry neither conditional jumps nor constants.
+        span.map = span_map = {}
+        span.cond_jumps = cond_jumps = _NO_COND_JUMPS
+        span.constants = constants = _NO_CONSTANTS
+        for i, insn in enumerate(insns):
+            span_map[insn.address] = insn
+            if insn._flags & _F_COND_JUMP:
+                if cond_jumps is _NO_COND_JUMPS:
+                    span.cond_jumps = cond_jumps = []
+                cond_jumps.append((i, insn))
+            c = insn._consts
+            if c is not None:
+                if constants is _NO_CONSTANTS:
+                    span.constants = constants = set()
+                if c.__class__ is int:
+                    constants.add(c)
+                else:
+                    constants.update(c)
+        self._span_index[address] = span
+        self._span_builds += 1
+        return span
+
+    def span_at(self, address: int, count: int = _SPAN_COUNT) -> DecodedSpan | None:
+        """The span starting exactly at ``address``, building one on a miss.
+
+        Returns ``None`` when ``address`` is already decoded but is not a
+        span start (an interior span address — consumers walk those through
+        :attr:`decode_cache` per instruction), when it lies outside
+        executable code, or when its bytes do not decode.
+
+        Requires the span layer to be enabled (``_span_index is not None``).
+        """
+        cache = self.decode_cache
+        span = self._span_index.get(address)
+        if span is not None:
+            cache.hits += 1
+            return span
+        if address in cache:
+            cache.hits += 1
+            return None
+        cache.misses += 1
+        return self._build_span(address, count)
+
     # ------------------------------------------------------------------
     # Pure per-address facts
     # ------------------------------------------------------------------
@@ -175,15 +370,89 @@ class AnalysisContext:
         key = (address, max_instructions)
         verdict = self._callconv.get(key)
         if verdict is None:
-            verdict = check_entry_convention(
-                self.image,
-                address,
-                max_instructions=max_instructions,
-                decode=self.decode,
-                cache=self.decode_cache,
-            )
+            if self._span_index is not None:
+                verdict = self._convention_via_spans(address, max_instructions)
+            else:
+                verdict = check_entry_convention(
+                    self.image,
+                    address,
+                    max_instructions=max_instructions,
+                    decode=self.decode,
+                    cache=self.decode_cache,
+                )
             self._callconv[key] = verdict
         return verdict
+
+    def _convention_via_spans(self, address: int, max_instructions: int) -> bool:
+        """Span-summary §IV-E walk, equivalent to ``check_entry_convention``.
+
+        Spans whose entry is span-aligned are judged from their memoized
+        ``cc_summary`` — O(1) when no prefix-masked read can violate.  A jump
+        into the middle of a span falls back to the per-instruction reference
+        walk with the accumulated ``initialized``/budget/``jump_targets``
+        state, so the verdict is identical by construction.
+        """
+        from repro.analysis.callconv import _ENTRY_INITIALIZED_MASK, _convention_walk
+
+        initialized = _ENTRY_INITIALIZED_MASK
+        budget = max_instructions
+        jump_targets: set[int] | None = None
+        span_at = self.span_at
+        current = address
+        while True:
+            if budget <= 0:
+                return True
+            # Span builds are capped by the remaining budget so
+            # callconv-initiated decodes never overshoot the instructions the
+            # reference walk would have decoded.
+            span = span_at(current, budget)
+            if span is None:
+                # Interior span address, non-code, or undecodable: finish
+                # with the per-instruction reference walk, which handles all
+                # three identically to the pre-span pipeline.
+                return _convention_walk(
+                    self.decode,
+                    self.decode_cache.get,
+                    current,
+                    initialized,
+                    budget,
+                    jump_targets if jump_targets is not None else set(),
+                )
+            masked, need_total, writes_total, kind = span.cc_summary()
+            checked = len(masked)
+            if need_total & ~initialized:
+                limit = budget if budget < checked else checked
+                for k in range(limit):
+                    if masked[k] & ~initialized:
+                        return False
+            if budget <= checked:
+                return True
+            initialized |= writes_total
+            budget -= checked
+            if kind == 0:
+                return True
+            last = span.insns[-1]
+            if kind == 1:
+                target = last.branch_target
+                if target is None:
+                    return True
+                if jump_targets is None:
+                    jump_targets = set()
+                if target in jump_targets:
+                    return True
+                jump_targets.add(target)
+                current = target
+                continue
+            current = last.end
+
+    def filter_invalid_entries(self, seeds: Iterable[int]) -> set[int]:
+        """Seed addresses that *fail* the §IV-E calling-convention check.
+
+        The pipeline's stage-1 filter; verdicts share the per-address memo
+        with every other consumer.
+        """
+        convention_ok = self.calling_convention_ok
+        return {address for address in seeds if not convention_ok(address)}
 
     def cfa_table(self, fde: FdeRecord) -> CfaTable:
         """The evaluated CFI row table of ``fde``, memoized per PC range."""
@@ -227,7 +496,9 @@ class AnalysisContext:
         key = (address, window)
         count = self._gadget_counts.get(key)
         if count is None:
-            count = count_rop_gadgets(self.image, address, window=window)
+            count = count_rop_gadgets(
+                self.image, address, window=window, cache=self.decode_cache
+            )
             self._gadget_counts[key] = count
         return count
 
@@ -309,6 +580,7 @@ class AnalysisContext:
             cached_cfa_tables=len(self._cfa_tables),
             cached_callconv_checks=len(self._callconv),
             cached_noreturn_facts=len(self.noreturn_facts) + len(self._noreturn),
+            cached_spans=self._span_builds,
         )
 
 

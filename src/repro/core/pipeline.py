@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.callconv import satisfies_calling_convention
 from repro.analysis.recursive import RecursiveDisassembler
 from repro.analysis.xrefs import collect_potential_pointers, validate_function_pointer
 from repro.core.context import AnalysisContext, context_for
@@ -88,11 +87,7 @@ class FetchDetector:
 
         invalid_fde_starts: set[int] = set()
         if options.validate_fde_starts:
-            invalid_fde_starts = {
-                address
-                for address in seeds
-                if not satisfies_calling_convention(image, address, context=context)
-            }
+            invalid_fde_starts = context.filter_invalid_entries(seeds)
         result.record_stage("fde", seeds - invalid_fde_starts, set())
         if invalid_fde_starts:
             result.removed_by_stage["fde_validation"] = invalid_fde_starts

@@ -159,18 +159,26 @@ def _collect_references(
     *,
     context: "AnalysisContext | None" = None,
 ) -> dict[int, list[tuple[str, int]]]:
-    """Map target address -> list of (kind, source) references."""
+    """Map target address -> list of (kind, source) references.
+
+    Call and jump references come from the per-function records the
+    traversal keeps (``call_sites`` / ``jumps``) instead of a walk over
+    every decoded instruction: each control-transfer instruction in a
+    function's instruction set was processed by that function's walk, so
+    the per-function lists cover exactly the referencing instructions.  An
+    instruction shared by several functions contributes one entry per
+    function; the duplicate ``(kind, source)`` entries cannot change any
+    criterion-3 verdict, which quantifies over the entries of one target.
+    """
     references: defaultdict[int, list[tuple[str, int]]] = defaultdict(list)
 
-    for insn in disassembly.instructions.values():
-        target = insn.branch_target
-        if target is None:
-            continue
-        flags = insn._flags
-        if flags & _F_CALL:
-            references[target].append(("call", insn.address))
-        elif flags & _F_JUMP:
-            references[target].append(("jump", insn.address))
+    for function in disassembly.functions.values():
+        for target, source in function.call_sites:
+            references[target].append(("call", source))
+        for insn in function.jumps:
+            target = insn.branch_target
+            if target is not None:
+                references[target].append(("jump", insn.address))
 
     for constant in disassembly.code_constants:
         if image.is_executable_address(constant):

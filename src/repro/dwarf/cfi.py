@@ -269,3 +269,137 @@ def decode_cfi_program(
         else:
             raise ValueError(f"unknown CFI opcode {opcode:#04x}")
     return out
+
+
+def scan_cfi_program(data: bytes) -> None:
+    """Validate a CFI program without materialising instruction objects.
+
+    Performs exactly the reads and opcode dispatch of
+    :func:`decode_cfi_program` — the same ``ValueError`` for unknown opcodes
+    and the same ``IndexError`` out of truncated LEB128 operands or short
+    one-byte reads — so running it inside the parser's error envelope keeps
+    the envelope identical while the (allocation-heavy) decode is deferred to
+    :class:`LazyCfiProgram`.
+    """
+    pos = 0
+    n = len(data)
+    while pos < n:
+        opcode = data[pos]
+        pos += 1
+        primary = opcode & 0xC0
+
+        if primary == C.DW_CFA_advance_loc or primary == C.DW_CFA_restore:
+            continue
+        if primary == C.DW_CFA_offset:
+            _, pos = decode_uleb128(data, pos)
+            continue
+
+        if opcode in _SCAN_NO_OPERANDS:
+            continue
+        if opcode in _SCAN_ONE_ULEB:
+            _, pos = decode_uleb128(data, pos)
+        elif opcode == C.DW_CFA_advance_loc1:
+            data[pos]
+            pos += 1
+        elif opcode == C.DW_CFA_advance_loc2:
+            pos += 2
+        elif opcode == C.DW_CFA_advance_loc4:
+            pos += 4
+        elif opcode in _SCAN_TWO_ULEB:
+            _, pos = decode_uleb128(data, pos)
+            _, pos = decode_uleb128(data, pos)
+        elif opcode == C.DW_CFA_def_cfa_sf:
+            _, pos = decode_uleb128(data, pos)
+            _, pos = decode_sleb128(data, pos)
+        elif opcode == C.DW_CFA_def_cfa_offset_sf:
+            _, pos = decode_sleb128(data, pos)
+        elif opcode == C.DW_CFA_offset_extended_sf:
+            _, pos = decode_uleb128(data, pos)
+            _, pos = decode_sleb128(data, pos)
+        elif opcode == C.DW_CFA_def_cfa_expression:
+            length, pos = decode_uleb128(data, pos)
+            pos += length
+        elif opcode == C.DW_CFA_expression:
+            _, pos = decode_uleb128(data, pos)
+            length, pos = decode_uleb128(data, pos)
+            pos += length
+        else:
+            raise ValueError(f"unknown CFI opcode {opcode:#04x}")
+
+
+_SCAN_NO_OPERANDS = frozenset(
+    (C.DW_CFA_nop, C.DW_CFA_remember_state, C.DW_CFA_restore_state)
+)
+_SCAN_ONE_ULEB = frozenset(
+    (
+        C.DW_CFA_def_cfa_register,
+        C.DW_CFA_def_cfa_offset,
+        C.DW_CFA_restore_extended,
+        C.DW_CFA_undefined,
+        C.DW_CFA_same_value,
+        C.DW_CFA_GNU_args_size,
+    )
+)
+_SCAN_TWO_ULEB = frozenset(
+    (C.DW_CFA_def_cfa, C.DW_CFA_offset_extended, C.DW_CFA_register)
+)
+
+
+class LazyCfiProgram:
+    """A CFI program that decodes on first access.
+
+    Drop-in sequence replacement for the ``list[CfiInstruction]`` the parser
+    used to store eagerly: iteration, indexing, ``len`` and equality all
+    force the decode and delegate to it.  ``raw`` (with the CIE's alignment
+    factors) stays available so scans that only need opcode-level facts — the
+    stack-height completeness check — can run without building instruction
+    objects at all.  The raw bytes must have been validated with
+    :func:`scan_cfi_program` at parse time, so forcing never raises.
+    """
+
+    __slots__ = ("raw", "code_alignment", "data_alignment", "_decoded")
+
+    def __init__(
+        self, raw: bytes, *, code_alignment: int = 1, data_alignment: int = -8
+    ):
+        self.raw = raw
+        self.code_alignment = code_alignment
+        self.data_alignment = data_alignment
+        self._decoded: list[CfiInstruction] | None = None
+
+    def _force(self) -> list[CfiInstruction]:
+        decoded = self._decoded
+        if decoded is None:
+            decoded = self._decoded = decode_cfi_program(
+                self.raw,
+                code_alignment=self.code_alignment,
+                data_alignment=self.data_alignment,
+            )
+        return decoded
+
+    def __iter__(self):
+        return iter(self._force())
+
+    def __len__(self) -> int:
+        return len(self._force())
+
+    def __bool__(self) -> bool:
+        # Every program byte decodes to at least one instruction, so
+        # truthiness never needs the decode.
+        decoded = self._decoded
+        return bool(self.raw) if decoded is None else bool(decoded)
+
+    def __getitem__(self, index):
+        return self._force()[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyCfiProgram):
+            return self._force() == other._force()
+        if isinstance(other, list):
+            return self._force() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        if self._decoded is None:
+            return f"LazyCfiProgram(<{len(self.raw)} bytes, undecoded>)"
+        return f"LazyCfiProgram({self._decoded!r})"

@@ -1,8 +1,12 @@
 """``.eh_frame`` section parser.
 
 Parses CIE and FDE records, resolving PC-relative pointer encodings against
-the section load address, and decodes each entry's CFI program into resolved
-:class:`~repro.dwarf.cfi.CfiInstruction` objects.
+the section load address.  Each entry's CFI program is *validated* eagerly
+(so malformed programs fail at parse time, exactly as when they were decoded
+eagerly) but carried as a :class:`~repro.dwarf.cfi.LazyCfiProgram` that
+builds its :class:`~repro.dwarf.cfi.CfiInstruction` objects only when first
+iterated — most detector runs never look past the FDE headers and the
+opcode-level stack-height scan.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ import struct
 from typing import Callable
 
 from repro.dwarf import constants as C
-from repro.dwarf.cfi import decode_cfi_program
+from repro.dwarf.cfi import LazyCfiProgram, scan_cfi_program
 from repro.dwarf.leb128 import decode_sleb128, decode_uleb128
 from repro.dwarf.structs import CieRecord, FdeRecord
 
@@ -202,8 +206,13 @@ def _parse_cie(
                 break
         pos = aug_end
 
-    instructions = decode_cfi_program(
-        data[pos:entry_end], code_alignment=code_alignment, data_alignment=data_alignment
+    # Validate the program bytes now — the parser's error envelope must not
+    # depend on when (or whether) the program is first decoded — but defer
+    # the instruction-object construction until someone iterates it.
+    raw_program = data[pos:entry_end]
+    scan_cfi_program(raw_program)
+    instructions = LazyCfiProgram(
+        raw_program, code_alignment=code_alignment, data_alignment=data_alignment
     )
     return CieRecord(
         offset=entry_offset,
@@ -246,8 +255,10 @@ def _parse_fde(
         aug_length, pos = decode_uleb128(data, pos)
         pos += aug_length
 
-    instructions = decode_cfi_program(
-        data[pos:entry_end],
+    raw_program = data[pos:entry_end]
+    scan_cfi_program(raw_program)
+    instructions = LazyCfiProgram(
+        raw_program,
         code_alignment=cie.code_alignment,
         data_alignment=cie.data_alignment,
     )

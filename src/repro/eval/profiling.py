@@ -20,6 +20,21 @@ from repro.elf.image import BinaryImage
 #: sort orders accepted by :func:`profile_cold_detection`
 SORT_ORDERS = ("cumulative", "tottime", "calls")
 
+#: pstats sort keys per :data:`SORT_ORDERS` entry, used to rank the
+#: structured report identically to the text one.
+_SORT_INDEX = {"cumulative": 3, "tottime": 2, "calls": 1}
+
+
+def _profile_one_detection(data: bytes, *, name: str, detector: str) -> cProfile.Profile:
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        image = BinaryImage.from_bytes(data, name=name)
+        create_detector(detector).detect(image, AnalysisContext(image))
+    finally:
+        profiler.disable()
+    return profiler
+
 
 def profile_cold_detection(
     data: bytes,
@@ -37,14 +52,57 @@ def profile_cold_detection(
     """
     if sort not in SORT_ORDERS:
         raise ValueError(f"unknown sort order {sort!r} (choose from {SORT_ORDERS})")
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        image = BinaryImage.from_bytes(data, name=name)
-        create_detector(detector).detect(image, AnalysisContext(image))
-    finally:
-        profiler.disable()
+    profiler = _profile_one_detection(data, name=name, detector=detector)
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats(sort).print_stats(top)
     return stream.getvalue()
+
+
+def profile_cold_detection_record(
+    data: bytes,
+    *,
+    name: str = "binary",
+    detector: str = "fetch",
+    top: int = 25,
+    sort: str = "cumulative",
+) -> dict:
+    """Like :func:`profile_cold_detection` but returns a structured record.
+
+    The record is JSON-serializable — what ``--json`` emits — so profile
+    snapshots can be stored next to benchmark records and diffed across
+    commits instead of eyeballing two pstats tables.  ``hotspots`` holds the
+    ``top`` functions ranked by ``sort``; ``ncalls`` counts all invocations,
+    ``primitive_calls`` excludes recursive re-entries (the pair behind the
+    ``a/b`` call counts of the text table).
+    """
+    if sort not in SORT_ORDERS:
+        raise ValueError(f"unknown sort order {sort!r} (choose from {SORT_ORDERS})")
+    profiler = _profile_one_detection(data, name=name, detector=detector)
+    stats = pstats.Stats(profiler)
+    index = _SORT_INDEX[sort]
+    ranked = sorted(
+        stats.stats.items(), key=lambda item: item[1][index], reverse=True
+    )
+    hotspots = [
+        {
+            "function": func_name,
+            "file": filename,
+            "line": line,
+            "ncalls": ncalls,
+            "primitive_calls": primitive,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        }
+        for (filename, line, func_name), (primitive, ncalls, tottime, cumtime, _callers)
+        in ranked[:top]
+    ]
+    return {
+        "binary": name,
+        "detector": detector,
+        "sort": sort,
+        "top": top,
+        "total_calls": stats.total_calls,
+        "total_seconds": round(stats.total_tt, 6),
+        "hotspots": hotspots,
+    }

@@ -216,6 +216,7 @@ def _m_simple(mnemonic):
         insn.branch_target = None
         insn._memory_operand = None
         insn.rip_target = None
+        insn._consts = None
         return insn
 
     return handler
@@ -235,6 +236,7 @@ def _m_push_pop_reg(mnemonic, low):
         insn.branch_target = None
         insn._memory_operand = None
         insn.rip_target = None
+        insn._consts = None
         return insn
 
     return handler
@@ -261,6 +263,7 @@ def _m_push_imm(imm_size):
         insn.branch_target = None
         insn._memory_operand = None
         insn.rip_target = None
+        insn._consts = value if imm_size == 4 else None
         return insn
 
     return handler
@@ -290,6 +293,7 @@ def _m_alu_store(mnemonic):
             insn.branch_target = None
             insn._memory_operand = None
             insn.rip_target = None
+            insn._consts = None
             return insn
         reg_field, rm, pos = _parse_modrm(code, pos, address, rex)
         insn = _INSN_NEW(Instruction)
@@ -305,10 +309,13 @@ def _m_alu_store(mnemonic):
         insn.branch_target = None
         if rm.__class__ is Mem:
             insn._memory_operand = rm
-            insn.rip_target = end + rm.disp if rm.rip_relative else None
+            insn.rip_target = insn._consts = (
+                end + rm.disp if rm.rip_relative else None
+            )
         else:
             insn._memory_operand = None
             insn.rip_target = None
+            insn._consts = None
         return insn
 
     return handler
@@ -336,6 +343,7 @@ def _m_alu_load(mnemonic):
             insn.branch_target = None
             insn._memory_operand = None
             insn.rip_target = None
+            insn._consts = None
             return insn
         reg_field, rm, pos = _parse_modrm(code, pos, address, rex)
         insn = _INSN_NEW(Instruction)
@@ -351,10 +359,13 @@ def _m_alu_load(mnemonic):
         insn.branch_target = None
         if rm.__class__ is Mem:
             insn._memory_operand = rm
-            insn.rip_target = end + rm.disp if rm.rip_relative else None
+            insn.rip_target = insn._consts = (
+                end + rm.disp if rm.rip_relative else None
+            )
         else:
             insn._memory_operand = None
             insn.rip_target = None
+            insn._consts = None
         return insn
 
     return handler
@@ -376,7 +387,7 @@ def _h_lea(code, pos, start, address, rex, p66, pf3):
     insn._flags = 0
     insn.branch_target = None
     insn._memory_operand = rm
-    insn.rip_target = end + rm.disp if rm.rip_relative else None
+    insn.rip_target = insn._consts = end + rm.disp if rm.rip_relative else None
     return insn
 
 
@@ -411,10 +422,16 @@ def _m_group1(imm_is_8bit):
         insn.branch_target = None
         if rm.__class__ is Mem:
             insn._memory_operand = rm
-            insn.rip_target = end + rm.disp if rm.rip_relative else None
+            rip = end + rm.disp if rm.rip_relative else None
+            insn.rip_target = rip
+            if imm_size == 4:
+                insn._consts = value if rip is None else (value, rip)
+            else:
+                insn._consts = rip
         else:
             insn._memory_operand = None
             insn.rip_target = None
+            insn._consts = value if imm_size == 4 else None
         return insn
 
     return handler
@@ -448,6 +465,7 @@ def _m_mov_imm(low):
         insn.branch_target = None
         insn._memory_operand = None
         insn.rip_target = None
+        insn._consts = value
         return insn
 
     return handler
@@ -480,10 +498,16 @@ def _m_mov_rm_imm(imm_size, error):
         insn.branch_target = None
         if rm.__class__ is Mem:
             insn._memory_operand = rm
-            insn.rip_target = end + rm.disp if rm.rip_relative else None
+            rip = end + rm.disp if rm.rip_relative else None
+            insn.rip_target = rip
+            if imm_size == 4:
+                insn._consts = value if rip is None else (value, rip)
+            else:
+                insn._consts = rip
         else:
             insn._memory_operand = None
             insn.rip_target = None
+            insn._consts = value if imm_size == 4 else None
         return insn
 
     return handler
@@ -511,10 +535,11 @@ def _h_shift(code, pos, start, address, rex, p66, pf3):
     insn.branch_target = None
     if rm.__class__ is Mem:
         insn._memory_operand = rm
-        insn.rip_target = end + rm.disp if rm.rip_relative else None
+        insn.rip_target = insn._consts = end + rm.disp if rm.rip_relative else None
     else:
         insn._memory_operand = None
         insn.rip_target = None
+        insn._consts = None
     return insn
 
 
@@ -542,6 +567,7 @@ def _m_rel32(mnemonic):
         insn.branch_target = target
         insn._memory_operand = None
         insn.rip_target = None
+        insn._consts = None
         return insn
 
     return handler
@@ -569,6 +595,7 @@ def _m_rel8(mnemonic):
         insn.branch_target = target
         insn._memory_operand = None
         insn.rip_target = None
+        insn._consts = None
         return insn
 
     return handler
@@ -596,6 +623,7 @@ def _h_ret_imm(code, pos, start, address, rex, p66, pf3):
     insn.branch_target = None
     insn._memory_operand = None
     insn.rip_target = None
+    insn._consts = None
     return insn
 
 
@@ -630,10 +658,11 @@ def _h_group_ff(code, pos, start, address, rex, p66, pf3):
     insn.branch_target = None
     if rm.__class__ is Mem:
         insn._memory_operand = rm
-        insn.rip_target = end + rm.disp if rm.rip_relative else None
+        insn.rip_target = insn._consts = end + rm.disp if rm.rip_relative else None
     else:
         insn._memory_operand = None
         insn.rip_target = None
+        insn._consts = None
     return insn
 
 
@@ -679,6 +708,7 @@ def _h_long_nop(code, pos, start, address, rex, p66, pf3):
     insn.branch_target = None
     insn._memory_operand = None
     insn.rip_target = None
+    insn._consts = None
     return insn
 
 
@@ -831,6 +861,7 @@ def decode_block(
     *,
     cache: DecodeCacheMap | None = None,
     stop_at_terminator: bool = False,
+    stop_flags: int = 0,
 ) -> tuple[list[Instruction], bool]:
     """Decode up to ``count`` sequential instructions starting at
     ``code[offset]``.
@@ -844,8 +875,11 @@ def decode_block(
 
     Decoding stops at the first undecodable address (fresh failure or cached
     one), at a previously-cached failure, at the end of the buffer, after
-    ``count`` instructions, or — with ``stop_at_terminator`` — after an
-    instruction that never falls through (``ret``/``jmp``/``ud2``/``hlt``).
+    ``count`` instructions, or after an instruction whose classification bits
+    intersect ``stop_flags``.  ``stop_at_terminator`` is shorthand for
+    ``stop_flags=_F_TERMINATOR`` (``ret``/``jmp``/``ud2``/``hlt``); the span
+    cache passes ``_F_TERMINATOR | _F_CALL`` so spans end wherever the
+    recursive traversal can break a fall-through run.
 
     Returns ``(instructions, stopped_on_error)``; the flag distinguishes a
     stop caused by an undecodable address from the other stop conditions so
@@ -856,6 +890,8 @@ def decode_block(
         # Handlers slice instruction bytes straight out of ``code``, so it
         # must be ``bytes`` (the conversion is free for the common case).
         code = bytes(code)
+    if stop_at_terminator:
+        stop_flags |= _F_TERMINATOR
     out: list[Instruction] = []
     n = len(code)
     base = address - offset
@@ -928,7 +964,7 @@ def decode_block(
         out.append(insn)
         pos = insn.end - base
         count -= 1
-        if stop_at_terminator and insn._flags & _F_TERMINATOR:
+        if stop_flags and insn._flags & stop_flags:
             break
     return out, False
 

@@ -100,6 +100,11 @@ class Instruction:
         "rip_target",
         "_flags",
         "_memory_operand",
+        # Precomputed code-constant contribution (``None`` | int | tuple):
+        # the >=4-byte immediates of a non-branch instruction plus any
+        # RIP-relative target, i.e. exactly what
+        # ``DisassembledFunction.code_constants`` collects per instruction.
+        "_consts",
         # Lazily-filled memo slots for repro.x86.semantics (left unset until
         # first use; the semantics helpers are pure per-instruction facts).
         "_regs_read",
@@ -128,28 +133,56 @@ class Instruction:
         flags = _MNEMONIC_FLAGS.get(mnemonic, 0)
         target = None
         mem = None
+        consts = None
         if operands:
             first = operands[0]
-            first_cls = first.__class__
             if flags & _F_CALL_OR_JUMP:
-                if first_cls is Imm:
+                if first.__class__ is Imm:
                     target = first.value
                 else:
                     flags |= _F_INDIRECT
-            if first_cls is Mem:
-                mem = first
+            if flags & _F_BRANCH:
+                if first.__class__ is Mem:
+                    mem = first
+                else:
+                    for position in range(1, len(operands)):
+                        operand = operands[position]
+                        if operand.__class__ is Mem:
+                            mem = operand
+                            break
             else:
-                for position in range(1, len(operands)):
-                    operand = operands[position]
-                    if operand.__class__ is Mem:
-                        mem = operand
-                        break
+                # Same walk also harvests the address-sized immediates so no
+                # analysis pass ever re-scans the operand tuple.
+                for operand in operands:
+                    cls = operand.__class__
+                    if cls is Mem:
+                        if mem is None:
+                            mem = operand
+                    elif cls is Imm and operand.size >= 4:
+                        value = operand.value
+                        if consts is None:
+                            consts = value
+                        elif consts.__class__ is tuple:
+                            consts = consts + (value,)
+                        else:
+                            consts = (consts, value)
         self._flags = flags
         #: Absolute target of a direct call/jump, else ``None``.
         self.branch_target = target
         self._memory_operand = mem
         #: Absolute address referenced through a RIP-relative operand.
-        self.rip_target = end + mem.disp if mem is not None and mem.rip_relative else None
+        if mem is not None and mem.rip_relative:
+            rip = end + mem.disp
+            self.rip_target = rip
+            if consts is None:
+                consts = rip
+            elif consts.__class__ is tuple:
+                consts = consts + (rip,)
+            else:
+                consts = (consts, rip)
+        else:
+            self.rip_target = None
+        self._consts = consts
 
     # ------------------------------------------------------------------
     # Classification

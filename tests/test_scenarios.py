@@ -237,6 +237,32 @@ def test_process_pool_aggregates_decode_stats(tiny_corpora):
     assert DECODE_STATS.raw_decodes - before == serial_decodes
 
 
+def test_cold_detection_decode_count_is_exact(tiny_corpora):
+    """``DECODE_STATS.raw_decodes`` counts exactly the cache-filling work.
+
+    The span-cached cold pipeline must decode every instruction at most once
+    and never decode past what it records: the raw-decode delta of a cold
+    detection equals the decode-cache population (each raw decode fills
+    exactly one slot — no prefetch overshoot, no uncached decodes), and a
+    warm re-run on the same context performs zero raw decodes.
+    """
+    from repro.core import AnalysisContext
+    from repro.x86.disassembler import DECODE_STATS
+
+    for corpus in tiny_corpora.values():
+        for binary in corpus:
+            image = BinaryImage(elf=binary.image.elf, name=binary.name)
+            context = AnalysisContext(image)
+            before = DECODE_STATS.raw_decodes
+            FetchDetector().detect(image, context)
+            cold = DECODE_STATS.raw_decodes - before
+            assert cold == len(context.decode_cache) > 0
+
+            before = DECODE_STATS.raw_decodes
+            FetchDetector().detect(image, context)
+            assert DECODE_STATS.raw_decodes == before
+
+
 def test_process_pool_tool_comparison_matches_threads(tiny_corpora):
     from repro.eval import run_tool_comparison
 

@@ -1,0 +1,137 @@
+"""Tests for the decoded-span cache layer and the lazy CFI decode.
+
+Two properties anchor the one-decode cold pipeline:
+
+* the span layer is an *optimisation*, never a semantic change — detector
+  output is byte-identical with ``REPRO_SPAN_CACHE=0`` (checked through a
+  subprocess, because the escape hatch is read at import time);
+* ``.eh_frame`` parsing validates CFI programs without decoding them —
+  ``decode_cfi_program`` runs only when a CFA row is actually queried.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import AnalysisContext, FetchDetector
+from repro.elf.image import BinaryImage
+from repro.synth import build_scenario_corpus
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# Runs one small corpus through the detector and prints a deep digest of
+# everything the pipeline produced.  Executed as a subprocess once per
+# REPRO_SPAN_CACHE setting; any divergence between the span-cached and the
+# per-instruction pipeline shows up as differing JSON.
+_CAPTURE_SCRIPT = r"""
+import hashlib, json, sys
+from repro.core import AnalysisContext, FetchDetector
+from repro.elf.image import BinaryImage
+from repro.synth import build_scenario_corpus
+
+out = {}
+for binary in build_scenario_corpus("vanilla", scale=0.25, programs=2, seed=11):
+    image = BinaryImage(elf=binary.image.elf, name=binary.name)
+    result = FetchDetector().detect(image, AnalysisContext(image))
+    digest = {"starts": sorted(result.function_starts)}
+    removed = getattr(result, "removed_by_stage", None)
+    if removed:
+        digest["removed"] = {k: sorted(v) for k, v in removed.items()}
+    disassembly = getattr(result, "disassembly", None)
+    if disassembly is not None:
+        h = hashlib.sha256()
+        for address in sorted(disassembly.instructions):
+            insn = disassembly.instructions[address]
+            h.update(f"{address}:{insn.mnemonic}:{insn.data.hex()};".encode())
+        digest["instructions"] = h.hexdigest()
+        digest["code_constants"] = sorted(disassembly.code_constants)
+    out[binary.name] = digest
+json.dump(out, sys.stdout, sort_keys=True)
+"""
+
+
+def _capture(span_cache: str) -> dict:
+    env = dict(os.environ)
+    env["REPRO_SPAN_CACHE"] = span_cache
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _CAPTURE_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+def test_span_cache_output_parity_with_disabled_layer():
+    """Detector output is byte-identical with the span layer disabled."""
+    assert _capture("1") == _capture("0")
+
+
+@pytest.fixture(scope="module")
+def small_binary():
+    return build_scenario_corpus("vanilla", scale=0.25, programs=1, seed=11)[0]
+
+
+def test_span_index_holds_span_starts_only(small_binary):
+    """Interior span addresses resolve through the decode cache, not the
+    index: ``span_at`` answers ``None`` for them while ``decode`` still
+    serves the instruction, and every index entry keys a span's first
+    instruction."""
+    image = BinaryImage(elf=small_binary.image.elf, name=small_binary.name)
+    context = AnalysisContext(image)
+    if context._span_index is None:
+        pytest.skip("span layer disabled via REPRO_SPAN_CACHE=0")
+    FetchDetector().detect(image, context)
+    assert context._span_index, "cold detection built no spans"
+    interior_seen = 0
+    for start, span in context._span_index.items():
+        assert span.insns[0].address == start
+        for insn in span.insns:
+            assert context.decode_cache.get(insn.address) is insn
+        for insn in span.insns[1:]:
+            if insn.address in context._span_index:
+                continue  # a later walk started a span at this address
+            assert context.span_at(insn.address) is None
+            assert context.decode(insn.address) is insn
+            interior_seen += 1
+    assert interior_seen > 0
+
+
+def test_cfi_programs_decode_only_when_rows_are_queried(small_binary, monkeypatch):
+    """``parse_eh_frame`` and the completeness scan never build
+    ``CfiInstruction`` objects; the first CFA row query does."""
+    import repro.dwarf.cfi as cfi
+
+    calls = []
+    real = cfi.decode_cfi_program
+
+    def counting(raw, **kwargs):
+        calls.append(len(raw))
+        return real(raw, **kwargs)
+
+    monkeypatch.setattr(cfi, "decode_cfi_program", counting)
+
+    image = BinaryImage(elf=small_binary.image.elf, name=small_binary.name)
+    fdes = image.fdes  # parses .eh_frame (validation scan only)
+    assert fdes, "test binary must carry .eh_frame"
+    assert calls == []
+
+    context = AnalysisContext(image)
+    fde = fdes[0]
+    table = context.cfa_table(fde)
+    # The §V-B conservativeness gate runs on raw CFI bytes.
+    table.has_complete_stack_height
+    assert calls == []
+
+    # The first actual row query forces the decode.
+    table.stack_height_at(fde.pc_begin)
+    assert calls

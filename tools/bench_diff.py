@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_cold_latency.json`` records.
+
+Usage::
+
+    python tools/bench_diff.py OLD.json NEW.json [--max-regression PCT]
+
+Prints a per-binary table of cold latency (in machine-calibrated units, the
+cross-host comparable measure), raw decode counts and decoder-sweep
+throughput, with the relative change between the two records.  With
+``--max-regression`` the exit status is non-zero when any binary's
+``cold_units`` regressed by more than PCT percent — the CI smoke mode that
+diffs a freshly measured record against the committed one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load(path: str) -> dict:
+    try:
+        record = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    if record.get("bench") != "cold_latency" or "binaries" not in record:
+        raise SystemExit(f"error: {path} is not a cold_latency bench record")
+    return record
+
+
+def _change(old: float, new: float) -> str:
+    if not old:
+        return "-"
+    delta = (new - old) / old * 100.0
+    return f"{delta:+.1f}%"
+
+
+def diff_records(old: dict, new: dict) -> tuple[str, list[tuple[str, float]]]:
+    """Render the comparison; returns ``(report, per-binary unit changes)``."""
+    lines = [
+        f"{'binary':<30} {'old units':>10} {'new units':>10} {'change':>8} "
+        f"{'old dec':>8} {'new dec':>8}",
+        "-" * 78,
+    ]
+    regressions: list[tuple[str, float]] = []
+    names = [n for n in old["binaries"] if n in new["binaries"]]
+    for name in names:
+        o, n = old["binaries"][name], new["binaries"][name]
+        lines.append(
+            f"{name:<30} {o['cold_units']:>10.3f} {n['cold_units']:>10.3f} "
+            f"{_change(o['cold_units'], n['cold_units']):>8} "
+            f"{o['raw_decodes']:>8} {n['raw_decodes']:>8}"
+        )
+        if o["cold_units"]:
+            regressions.append(
+                (name, (n["cold_units"] - o["cold_units"]) / o["cold_units"])
+            )
+    only_old = sorted(set(old["binaries"]) - set(new["binaries"]))
+    only_new = sorted(set(new["binaries"]) - set(old["binaries"]))
+    if only_old:
+        lines.append(f"only in old record: {', '.join(only_old)}")
+    if only_new:
+        lines.append(f"only in new record: {', '.join(only_new)}")
+
+    od, nd = old.get("decoder"), new.get("decoder")
+    if od and nd:
+        lines.append(
+            f"{'decoder sweep (M insn/s)':<30} {od['minsn_per_second']:>10.3f} "
+            f"{nd['minsn_per_second']:>10.3f} "
+            f"{_change(od['minsn_per_second'], nd['minsn_per_second']):>8}"
+        )
+    return "\n".join(lines), regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline cold_latency record")
+    parser.add_argument("new", help="candidate cold_latency record")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if any binary's cold_units grew by more than "
+             "PCT percent",
+    )
+    args = parser.parse_args(argv)
+
+    report, regressions = diff_records(_load(args.old), _load(args.new))
+    print(report)
+
+    if args.max_regression is not None:
+        limit = args.max_regression / 100.0
+        failing = [(n, d) for n, d in regressions if d > limit]
+        if failing:
+            for name, delta in failing:
+                print(
+                    f"REGRESSION: {name} cold_units {delta * 100:+.1f}% "
+                    f"(limit {args.max_regression:+.1f}%)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(f"ok: no binary regressed beyond {args.max_regression:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,16 +8,19 @@ pipeline all inside the profiled region) and prints the top-N functions.
 Usage::
 
     PYTHONPATH=src python tools/profile_cold.py BINARY [--top N]
-        [--sort cumulative|tottime|calls] [--detector NAME]
+        [--sort cumulative|tottime|calls] [--detector NAME] [--json]
 
 This is the driver used to pick — and afterwards verify — the cold-path
 optimisation targets: run it before and after a change and compare where
-the cumulative time goes.
+the cumulative time goes.  ``--json`` emits the same top-N ranking as a
+machine-readable record (ncalls / tottime / cumtime per function) for
+storing and diffing profile snapshots across commits.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -26,7 +29,11 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if _SRC.is_dir() and str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.eval.profiling import SORT_ORDERS, profile_cold_detection  # noqa: E402
+from repro.eval.profiling import (  # noqa: E402
+    SORT_ORDERS,
+    profile_cold_detection,
+    profile_cold_detection_record,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -35,6 +42,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--detector", default="fetch", metavar="NAME")
     parser.add_argument("--top", type=int, default=25, metavar="N")
     parser.add_argument("--sort", choices=SORT_ORDERS, default="cumulative")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the hotspots as a JSON record")
     args = parser.parse_args(argv)
 
     try:
@@ -43,6 +52,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: cannot load {args.binary}: {error}", file=sys.stderr)
         return 1
     try:
+        if args.json:
+            record = profile_cold_detection_record(
+                data,
+                name=args.binary,
+                detector=args.detector,
+                top=args.top,
+                sort=args.sort,
+            )
+            print(json.dumps(record, indent=2))
+            return 0
         report = profile_cold_detection(
             data,
             name=args.binary,
