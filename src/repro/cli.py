@@ -773,27 +773,93 @@ def _make_service(args: argparse.Namespace):
     )
 
 
+def _parse_endpoint(value: str, parser: argparse.ArgumentParser, flag: str) -> tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"{flag} expects HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fetch-detect serve",
         description=(
             "Run the persistent detection service over a stdin/stdout "
             "JSON-lines protocol (one request per input line, one event per "
-            "output line; see repro.service.protocol for the schema)."
+            "output line; see repro.service.protocol for the schema), or — "
+            "with --tcp HOST:PORT — as a multi-client network server "
+            "(one session per connection, same protocol on every line)."
         ),
+    )
+    parser.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve many concurrent clients on a TCP socket (PORT 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="require a shared-token handshake ({'op': 'auth', ...}) per connection",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close a TCP connection after this long without a request",
+    )
+    parser.add_argument(
+        "--submit-quota",
+        type=int,
+        default=0,
+        metavar="N",
+        help="max submissions per connection; 0 = unlimited (default)",
+    )
+    parser.add_argument(
+        "--max-line-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject request lines longer than this (default: 1 MiB)",
     )
     _add_service_arguments(parser)
     return parser
 
 
 def serve_main(argv: list[str]) -> int:
-    from repro.service import ServeSession
+    from repro.service import DEFAULT_MAX_LINE_BYTES, DetectionServer, ServeSession
 
     parser = build_serve_parser()
     args = parser.parse_args(argv)
     _apply_faults(args, parser)
+    if args.tcp is None:
+        with _make_service(args) as service:
+            return ServeSession(service, sys.stdin, sys.stdout).run()
+
+    host, port = _parse_endpoint(args.tcp, parser, "--tcp")
     with _make_service(args) as service:
-        return ServeSession(service, sys.stdin, sys.stdout).run()
+        server = DetectionServer(
+            service,
+            host,
+            port,
+            auth_token=args.token,
+            idle_timeout=args.idle_timeout,
+            submit_quota=max(0, args.submit_quota),
+            max_line_bytes=args.max_line_bytes or DEFAULT_MAX_LINE_BYTES,
+        )
+        try:
+            host, port = server.start()
+            print(f"listening on {host}:{port}", flush=True)
+            while True:
+                time.sleep(1)
+        except KeyboardInterrupt:
+            print("draining: in-flight jobs finish, new submissions refused",
+                  file=sys.stderr)
+        finally:
+            server.shutdown(drain=True)
+    return 0
 
 
 def build_submit_parser() -> argparse.ArgumentParser:
@@ -819,8 +885,70 @@ def build_submit_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit one machine-readable JSON document instead of text",
     )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "submit to a running 'fetch-detect serve --tcp' server instead "
+            "of an in-process service (the service knobs are then ignored)"
+        ),
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="shared auth token for --connect",
+    )
     _add_service_arguments(parser)
     return parser
+
+
+def _submit_remote(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """``fetch-detect submit --connect``: drive a running TCP server."""
+    from repro.service import ServerError, ServiceClient
+
+    host, port = _parse_endpoint(args.connect, parser, "--connect")
+    records: list[dict] = []
+    errors = 0
+    try:
+        with ServiceClient.connect(host, port, token=args.token) as client:
+            job = client.submit(args.paths, detectors=args.detector)
+            for event in client.results(job):
+                records.append({key: event[key] for key in event if key != "event"})
+                if "error" in event:
+                    errors += 1
+                    print(
+                        f"error: {event['name']} [{event['detector']}]: "
+                        f"{event['error']}",
+                        file=sys.stderr,
+                    )
+                elif not args.json:
+                    cached = " (cached)" if event.get("cached") else ""
+                    print(f"{event['name']}\t{event['detector']}\t"
+                          f"{event['count']} starts{cached}")
+            stats = {
+                key: value
+                for key, value in client.stats().items()
+                if key != "event"
+            }
+            summary = client.summary(job) or {}
+    except (ConnectionError, TimeoutError, ServerError, OSError) as error:
+        print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+
+    status = 1 if errors else 0
+    if args.json:
+        print(json.dumps(
+            {"results": records, "stats": stats, "status": status},
+            indent=2, sort_keys=True,
+        ))
+        return status
+    print(
+        f"# job {job}: {summary.get('ok', 0)}/{summary.get('ok', 0) + summary.get('errors', 0)} "
+        f"units ok, {sum(1 for r in records if r.get('cached'))} cached (this batch)"
+    )
+    return status
 
 
 def submit_main(argv: list[str]) -> int:
@@ -832,6 +960,8 @@ def submit_main(argv: list[str]) -> int:
             detector_info(name)
         except KeyError as error:
             parser.error(str(error))
+    if args.connect is not None:
+        return _submit_remote(args, parser)
 
     records: list[dict] = []
     errors = 0

@@ -16,11 +16,17 @@ per-entry results back through :class:`JobHandle`.  Typical wiring::
             ...
 
 ``fetch-detect serve`` exposes the same service over the JSON-lines
-protocol in :mod:`repro.service.protocol`; ``fetch-detect submit`` is the
-one-shot batch client.
+protocol in :mod:`repro.service.protocol` — over stdin/stdout by default,
+or to many concurrent network clients via ``fetch-detect serve --tcp``
+(:class:`DetectionServer` in :mod:`repro.service.server`, one
+:class:`ServeSession` per connection).  ``fetch-detect submit`` is the
+one-shot batch client; with ``--connect`` it speaks to a running server
+through :class:`ServiceClient`.
 """
 
-from repro.service.protocol import ServeSession
+from repro.service.client import ServerError, ServiceClient
+from repro.service.protocol import DEFAULT_MAX_LINE_BYTES, ServeSession
+from repro.service.server import DetectionServer
 from repro.service.service import (
     DetectionService,
     EntryResult,
@@ -32,11 +38,15 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_LINE_BYTES",
+    "DetectionServer",
     "DetectionService",
     "EntryResult",
     "JobHandle",
     "JobState",
     "ServeSession",
+    "ServerError",
+    "ServiceClient",
     "ServiceClosed",
     "ServiceConfig",
     "ServiceSaturated",

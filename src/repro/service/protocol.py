@@ -1,20 +1,23 @@
-"""JSON-lines protocol over stdin/stdout: the ``fetch-detect serve`` front-end.
+"""JSON-lines protocol: the request-dispatch core behind every front-end.
 
 One request per input line, one JSON event per output line.  The shape is
-deliberately transport-agnostic — a pipe today, a socket acceptor feeding
-the same :class:`ServeSession` tomorrow — and streaming: a ``submit`` is
-acknowledged as soon as its entries are *admitted*, and its per-entry
-results then arrive as the service completes them, interleaved with
-responses to later requests.  Admission itself follows the service's
-backpressure policy: under the default ``block`` policy a batch larger
-than the remaining queue capacity delays the acknowledgement (and the
-request loop) until workers free capacity — backpressure deliberately
-propagates to the submitting client.  Run the service with
-``--backpressure reject`` for a front-end that never blocks: an
-overflowing batch then answers with an ``error`` event instead.
+deliberately transport-agnostic — :class:`ServeSession` is the single
+request-dispatch core, fed by a stdin/stdout pipe (``fetch-detect serve``)
+or by one accepted connection of the TCP front-end in
+:mod:`repro.service.server` (``fetch-detect serve --tcp``) — and
+streaming: a ``submit`` is acknowledged as soon as its entries are
+*admitted*, and its per-entry results then arrive as the service completes
+them, interleaved with responses to later requests.  Admission itself
+follows the service's backpressure policy: under the default ``block``
+policy a batch larger than the remaining queue capacity delays the
+acknowledgement (and the request loop) until workers free capacity —
+backpressure deliberately propagates to the submitting client.  Run the
+service with ``--backpressure reject`` for a front-end that never blocks:
+an overflowing batch then answers with an ``error`` event instead.
 
 Requests::
 
+    {"op": "auth", "token": "..."}
     {"op": "submit", "paths": [...], "detectors": ["fetch", "ghidra"]}
     {"op": "status", "job": 1}
     {"op": "wait", "job": 1}
@@ -23,32 +26,63 @@ Requests::
 
 Events (every response carries an ``event`` key)::
 
+    {"event": "auth-ok"}
     {"event": "accepted", "job": 1, "entries": 3, "units": 6}
     {"event": "result", "job": 1, "name": "a.elf", "detector": "fetch",
      "cached": false, "count": 42, "function_starts": [...], "seconds": 0.12}
     {"event": "job-done", "job": 1, "ok": 6, "errors": 0}
     {"event": "status", "job": 1, "state": "running", "done": 2, "total": 6}
-    {"event": "stats", ...service counters, "store": hit/miss deltas}
+    {"event": "stats", ...service counters, "client": session counters}
     {"event": "error", "error": "..."}          # bad request, never fatal
     {"event": "bye"}                            # response to shutdown
 
-Malformed input (bad JSON, unknown ``op``, unknown job id) produces an
-``error`` event and the session keeps serving; only ``shutdown`` or end of
-input ends it, after draining every in-flight job.
+**Job ids are session-local.**  Every session numbers its own submissions
+from 1, so concurrent clients of the TCP server cannot observe (or wait
+on) each other's jobs, and a session keeps its own reference to every
+:class:`~repro.service.service.JobHandle` it created — ``status``/``wait``
+answer deterministically even after the service's bounded job-history
+table has evicted a long-finished job.  ``wait`` additionally joins the
+job's event drainer before answering, so its ``status`` response is
+guaranteed to follow every ``result`` and the ``job-done`` event of that
+job on the wire.
+
+Malformed input (bad JSON, a non-object line, unknown ``op``, unknown job
+id) produces an ``error`` event and the session keeps serving.  Framing
+violations are fatal to the session only: a line longer than
+``max_line_bytes`` or a truncated final frame (EOF mid-line) answers one
+``error`` event and closes the session cleanly — the service, and every
+other session, keeps running.  Only ``shutdown`` or end of input ends a
+session normally, after draining every in-flight job.
+
+Guard hooks, all optional, let a front-end wrap policy around the core:
+
+* ``auth_token`` — when set, every op except ``auth`` answers an error
+  until the client has authenticated; a *wrong* token closes the session;
+* ``submit_quota`` — submissions allowed per session (0 = unlimited);
+* ``submit_guard`` — a callable returning a refusal reason or ``None``,
+  consulted on every submit (the TCP server's drain mode plugs in here);
+* ``stats_extra`` — a callable whose dict is merged into ``stats`` events
+  (the TCP server adds its connection counters through it).
 """
 
 from __future__ import annotations
 
 import json
 import threading
-from typing import Any, IO
+from typing import Any, Callable, IO
 
 from repro.service.service import (
     DetectionService,
     EntryResult,
     JobHandle,
+    JobState,
     ServiceSaturated,
 )
+
+#: longest accepted request line (bytes of UTF-8 on the socket transport,
+#: characters on a text stream) — large enough for a many-thousand-path
+#: submit, small enough to bound a hostile client's memory footprint
+DEFAULT_MAX_LINE_BYTES = 1 << 20
 
 
 class ServeSession:
@@ -56,32 +90,77 @@ class ServeSession:
 
     Responses from concurrently-draining jobs and from the request loop
     share one output stream; a write lock keeps every JSON line intact.
+    A failed write (the peer disconnected mid-stream) silences the session
+    — in-flight jobs keep running to completion in the service, their
+    events are simply no longer deliverable — and ends the request loop.
     """
+
+    #: oldest *finished* session-local jobs are forgotten beyond this many,
+    #: so a long-lived session stays bounded (ids are never reused)
+    JOB_HISTORY = 256
 
     def __init__(
         self,
         service: DetectionService,
         input_stream: IO[str],
         output_stream: IO[str],
+        *,
+        max_line_bytes: int = DEFAULT_MAX_LINE_BYTES,
+        auth_token: str | None = None,
+        submit_quota: int = 0,
+        submit_guard: Callable[[], str | None] | None = None,
+        stats_extra: Callable[[], dict[str, Any]] | None = None,
     ):
         self.service = service
         self._input = input_stream
         self._output = output_stream
+        self.max_line_bytes = max(1024, int(max_line_bytes))
+        self._auth_token = auth_token
+        self._authed = auth_token is None
+        self._submit_quota = max(0, int(submit_quota))
+        self._submit_guard = submit_guard
+        self._stats_extra = stats_extra
         self._write_lock = threading.Lock()
-        self._drainers: list[threading.Thread] = []
+        #: session-local job id -> the handle this session created
+        self._jobs: dict[int, JobHandle] = {}
+        #: session-local job id -> the thread streaming its events
+        self._drainers: dict[int, threading.Thread] = {}
+        self._next_job = 0
+        #: the peer stopped reading (write failed); stop emitting
+        self._dead = False
+        #: suppressed for fatal framing/auth endings (no clean ``bye``)
+        self._send_bye = True
+        # per-session counters, reported in the ``stats`` event
+        self.submits = 0
+        self.results_sent = 0
+        self.errors_sent = 0
 
     # -- output ---------------------------------------------------------
     def _emit(self, event: dict[str, Any]) -> None:
         line = json.dumps(event, sort_keys=True)
         with self._write_lock:
-            self._output.write(line + "\n")
-            self._output.flush()
+            # counters live under the write lock: drainer threads and the
+            # request loop bump them concurrently
+            kind = event.get("event")
+            if kind == "error":
+                self.errors_sent += 1
+            elif kind == "result":
+                self.results_sent += 1
+            if self._dead:
+                return
+            try:
+                self._output.write(line + "\n")
+                self._output.flush()
+            except (OSError, ValueError):
+                # peer gone (broken pipe / closed stream): silence the
+                # session; the service and other sessions are unaffected
+                self._dead = True
 
     @staticmethod
-    def _result_event(job: JobHandle, result: EntryResult) -> dict[str, Any]:
+    def _result_event(job_id: int, result: EntryResult) -> dict[str, Any]:
         event: dict[str, Any] = {
             "event": "result",
-            "job": job.job_id,
+            "job": job_id,
             "name": result.name,
             "detector": result.detector,
             "cached": result.cached,
@@ -100,77 +179,114 @@ class ServeSession:
         return event
 
     # -- request handling ------------------------------------------------
-    def _drain(self, job: JobHandle) -> None:
+    def _drain(self, job_id: int, job: JobHandle) -> None:
         ok = errors = 0
         for result in job.results():
             if result.ok:
                 ok += 1
             else:
                 errors += 1
-            self._emit(self._result_event(job, result))
-        self._emit({"event": "job-done", "job": job.job_id, "ok": ok, "errors": errors})
+            self._emit(self._result_event(job_id, result))
+        self._emit({"event": "job-done", "job": job_id, "ok": ok, "errors": errors})
+
+    def _error(self, message: str) -> bool:
+        self._emit({"event": "error", "error": message})
+        return True
+
+    def _handle_submit(self, request: dict[str, Any]) -> bool:
+        if self._submit_guard is not None:
+            refusal = self._submit_guard()
+            if refusal is not None:
+                return self._error(refusal)
+        if self._submit_quota and self.submits >= self._submit_quota:
+            return self._error(
+                f"submit quota {self._submit_quota} exhausted for this session"
+            )
+        paths = request.get("paths")
+        if (
+            not isinstance(paths, list)
+            or not paths
+            or not all(isinstance(path, str) for path in paths)
+        ):
+            return self._error("submit needs a non-empty 'paths' list of strings")
+        detectors = request.get("detectors")
+        if detectors is not None and (
+            not isinstance(detectors, list)
+            or not all(isinstance(name, str) for name in detectors)
+        ):
+            return self._error("'detectors' must be a list of names")
+        try:
+            job = self.service.submit(paths, detectors=detectors)
+        except (ServiceSaturated, KeyError, RuntimeError) as error:
+            return self._error(str(error))
+        self.submits += 1
+        self._next_job += 1
+        job_id = self._next_job
+        self._jobs[job_id] = job
+        self._emit(
+            {
+                "event": "accepted",
+                "job": job_id,
+                "entries": len(paths),
+                "units": job.total,
+            }
+        )
+        drainer = threading.Thread(
+            target=self._drain, args=(job_id, job), daemon=True
+        )
+        drainer.start()
+        # session state stays bounded across a long-lived session:
+        # finished drainers are pruned on every new submit, and the oldest
+        # *done* job handles are forgotten beyond JOB_HISTORY
+        self._drainers = {
+            jid: thread for jid, thread in self._drainers.items() if thread.is_alive()
+        }
+        self._drainers[job_id] = drainer
+        if len(self._jobs) > self.JOB_HISTORY:
+            for jid in [
+                jid
+                for jid, handle in self._jobs.items()
+                if handle.state is JobState.DONE
+            ][: len(self._jobs) - self.JOB_HISTORY]:
+                del self._jobs[jid]
+        return True
 
     def _handle(self, request: dict[str, Any]) -> bool:
         """Serve one request; returns ``False`` when the session should end."""
         op = request.get("op")
+        if op == "auth":
+            if self._auth_token is not None and request.get("token") != self._auth_token:
+                # a wrong token is fatal: error out and close, no bye
+                self._error("bad auth token")
+                self._send_bye = False
+                return False
+            self._authed = True
+            self._emit({"event": "auth-ok"})
+            return True
+        if not self._authed:
+            return self._error(f"authentication required before {op!r}")
         if op == "shutdown":
             return False
         if op == "submit":
-            paths = request.get("paths")
-            if (
-                not isinstance(paths, list)
-                or not paths
-                or not all(isinstance(path, str) for path in paths)
-            ):
-                self._emit(
-                    {
-                        "event": "error",
-                        "error": "submit needs a non-empty 'paths' list of strings",
-                    }
-                )
-                return True
-            detectors = request.get("detectors")
-            if detectors is not None and (
-                not isinstance(detectors, list)
-                or not all(isinstance(name, str) for name in detectors)
-            ):
-                self._emit(
-                    {"event": "error", "error": "'detectors' must be a list of names"}
-                )
-                return True
-            try:
-                job = self.service.submit(paths, detectors=detectors)
-            except (ServiceSaturated, KeyError) as error:
-                self._emit({"event": "error", "error": str(error)})
-                return True
-            self._emit(
-                {
-                    "event": "accepted",
-                    "job": job.job_id,
-                    "entries": len(paths),
-                    "units": job.total,
-                }
-            )
-            drainer = threading.Thread(target=self._drain, args=(job,), daemon=True)
-            drainer.start()
-            # session state stays bounded across a long-lived session:
-            # finished drainers are pruned on every new submit
-            self._drainers = [t for t in self._drainers if t.is_alive()]
-            self._drainers.append(drainer)
-            return True
+            return self._handle_submit(request)
         if op in ("status", "wait"):
             try:
-                job = self.service.job(int(request.get("job", -1)))
+                job_id = int(request.get("job", -1))
+                job = self._jobs[job_id]
             except (KeyError, TypeError, ValueError):
-                self._emit({"event": "error", "error": f"unknown job {request.get('job')!r}"})
-                return True
+                return self._error(f"unknown job {request.get('job')!r}")
             if op == "wait":
                 job.wait()
+                # join the drainer too: after this status lands, every
+                # result/job-done event of the job is already on the wire
+                drainer = self._drainers.get(job_id)
+                if drainer is not None:
+                    drainer.join()
             done, total = job.progress()
             self._emit(
                 {
                     "event": "status",
-                    "job": job.job_id,
+                    "job": job_id,
                     "state": job.state.value,
                     "done": done,
                     "total": total,
@@ -178,29 +294,85 @@ class ServeSession:
             )
             return True
         if op == "stats":
-            self._emit({"event": "stats", **self.service.stats()})
+            event = {"event": "stats", **self.service.stats()}
+            event["client"] = {
+                "submits": self.submits,
+                "jobs": len(self._jobs),
+                "results_sent": self.results_sent,
+                "errors_sent": self.errors_sent,
+                "quota": self._submit_quota,
+            }
+            if self._stats_extra is not None:
+                event.update(self._stats_extra())
+            self._emit(event)
             return True
-        self._emit({"event": "error", "error": f"unknown op {op!r}"})
-        return True
+        return self._error(f"unknown op {op!r}")
 
     # -- main loop -------------------------------------------------------
+    def _read_line(self) -> str | None:
+        """One framed line, or ``None`` when the session must end.
+
+        Enforces the framing contract shared by both transports: a line
+        longer than ``max_line_bytes`` and a truncated final frame (data
+        with no newline at EOF) each answer an ``error`` event and end the
+        session; a read timeout (the TCP front-end's idle timeout) ends it
+        with an ``error`` as well.  Returns ``""`` for blank lines (the
+        caller skips them) and ``None`` to stop serving.
+        """
+        try:
+            line = self._input.readline(self.max_line_bytes + 1)
+        except TimeoutError:
+            self._error("idle timeout: closing session")
+            self._send_bye = False
+            return None
+        except (OSError, ValueError):
+            # transport failure mid-read: nothing sensible left to answer
+            self._dead = True
+            return None
+        if line == "":
+            return None  # end of input: normal session end
+        if not line.endswith("\n"):
+            if len(line) > self.max_line_bytes:
+                self._error(
+                    f"oversized request line (> {self.max_line_bytes} bytes): "
+                    "closing session"
+                )
+            else:
+                self._error("truncated request frame at end of input")
+            self._send_bye = False
+            return None
+        return line.strip()
+
     def run(self) -> int:
         """Serve requests until shutdown or end of input; returns exit code."""
-        for line in self._input:
-            line = line.strip()
+        while True:
+            line = self._read_line()
+            if line is None:
+                break
             if not line:
                 continue
             try:
                 request = json.loads(line)
             except ValueError as error:
-                self._emit({"event": "error", "error": f"bad request line: {error}"})
+                self._error(f"bad request line: {error}")
                 continue
             if not isinstance(request, dict):
-                self._emit({"event": "error", "error": "request must be a JSON object"})
+                self._error("request must be a JSON object")
                 continue
             if not self._handle(request):
                 break
-        for drainer in self._drainers:
-            drainer.join()
-        self._emit({"event": "bye"})
+        self.drain()
+        if self._send_bye:
+            self._emit({"event": "bye"})
         return 0
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Join every in-flight drainer; ``False`` if one outlived ``timeout``.
+
+        After a ``True`` return, every event of every job this session
+        submitted has been written (or dropped on a dead peer)."""
+        drained = True
+        for drainer in list(self._drainers.values()):
+            drainer.join(timeout)
+            drained = drained and not drainer.is_alive()
+        return drained

@@ -488,18 +488,17 @@ class TestServeProtocol:
             session = ServeSession(service, io.StringIO(), output)
             for job_id in range(1, 6):
                 assert session._handle({"op": "submit", "paths": [elf_dir[0]]})
-                assert service.job(job_id).wait(timeout=30)
+                assert session._jobs[job_id].wait(timeout=30)
             deadline = time.monotonic() + 10
             while (
-                any(thread.is_alive() for thread in session._drainers)
+                any(thread.is_alive() for thread in session._drainers.values())
                 and time.monotonic() < deadline
             ):
                 time.sleep(0.02)
             assert session._handle({"op": "submit", "paths": [elf_dir[0]]})
-            assert len(session._drainers) == 1, "finished drainers must be pruned"
-            assert service.job(6).wait(timeout=30)
-            for thread in session._drainers:
-                thread.join(timeout=10)
+            assert set(session._drainers) == {6}, "finished drainers must be pruned"
+            assert session._jobs[6].wait(timeout=30)
+            assert session.drain(timeout=10)
 
     def test_saturation_is_an_error_event(self, elf_dir):
         events = _serve(
